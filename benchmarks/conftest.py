@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure benchmark consumes one shared study run of the
+paper's execution matrix.  By default the matrix is reduced (sizes
+256-1024, cost-only numerics) so the whole harness completes in well
+under a minute; set ``REPRO_FULL=1`` to run the paper's exact matrix
+{512, 1024, 2048, 4096} x {1, 2, 3, 4} (a few minutes).
+
+Each benchmark writes the table/series it regenerates to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference the
+actual reproduced numbers.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import EnergyPerformanceStudy, StudyConfig, haswell_e3_1225
+from repro.core.study import PAPER_SIZES, PAPER_THREADS
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_matrix() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return haswell_e3_1225()
+
+
+@pytest.fixture(scope="session")
+def paper_study(machine):
+    """One shared study over the (possibly reduced) execution matrix."""
+    if full_matrix():
+        cfg = StudyConfig(sizes=PAPER_SIZES, threads=PAPER_THREADS, execute_max_n=1024)
+    else:
+        cfg = StudyConfig(
+            sizes=(256, 512, 1024),
+            threads=PAPER_THREADS,
+            execute_max_n=256,
+        )
+    return EnergyPerformanceStudy(machine, config=cfg).run()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, content: str) -> None:
+    """Record one experiment's reproduced output."""
+    (results_dir / f"{name}.txt").write_text(content + "\n")

@@ -1,0 +1,36 @@
+"""Power-capped algorithmic choice — the paper's motivation (§I, §VI-D)
+exercised end-to-end over the shared study."""
+
+from conftest import write_result
+
+from repro.core.choice import choice_table, pareto_frontier, select_under_power_cap
+
+
+def test_choice_under_power_caps(benchmark, paper_study, results_dir):
+    n = max(paper_study.config.sizes)
+    table = benchmark(choice_table, paper_study, n)
+    write_result(results_dir, "choice_table", table.to_ascii())
+
+    frontier = pareto_frontier(paper_study, n)
+    # The fastest point is OpenBLAS at full threads; the lowest-power
+    # point runs a single thread (fewest active cores — which algorithm
+    # owns it flips with problem size, exactly as in the paper's own
+    # Table III where OpenBLAS and CAPS trade the coolest 1-thread row).
+    assert frontier[0].algorithm == "openblas"
+    assert frontier[0].threads == max(paper_study.config.threads)
+    coolest = min(frontier, key=lambda c: c.avg_power_w)
+    assert coolest.threads == 1
+    # The frontier spans a real trade: its fastest and coolest points
+    # differ by at least 2x in runtime.
+    assert coolest.time_s > 2 * frontier[0].time_s
+
+    # Walk the cap down: the selection must shift away from OpenBLAS x
+    # max-threads before becoming infeasible, and runtimes must be
+    # monotone non-decreasing as the cap tightens.
+    caps = (200.0, 45.0, 35.0, 25.0)
+    picks = [select_under_power_cap(paper_study, n, cap, "peak") for cap in caps]
+    assert picks[0] is not None and picks[0].algorithm == "openblas"
+    times = [p.time_s for p in picks if p is not None]
+    assert times == sorted(times)
+    tight = [p for p in picks if p is not None][-1]
+    assert (tight.algorithm, tight.threads) != (picks[0].algorithm, picks[0].threads)

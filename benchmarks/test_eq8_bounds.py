@@ -1,0 +1,57 @@
+"""Eq. 8 analysis (§IV-C): the CAPS communication bound.
+
+Sweeps n, P and M, and records the regime map plus the CAPS-vs-classical
+bandwidth comparison that motivates the whole paper.
+"""
+
+from conftest import write_result
+
+from repro.core.bounds import (
+    bound_crossover_memory,
+    caps_bandwidth_bound,
+    classical_bandwidth_bound,
+    communication_bound_words,
+)
+from repro.util.tables import TextTable
+
+
+def _sweep():
+    table = TextTable(
+        ["n", "P", "M (words)", "CAPS words", "classical words", "regime"], ndigits=4
+    )
+    for n in (4096, 16384):
+        for p in (16, 256):
+            for m in (2**18, 2**24):
+                bound = communication_bound_words(n, p, m)
+                table.add_row(
+                    n,
+                    p,
+                    m,
+                    bound.words,
+                    classical_bandwidth_bound(n, p, m),
+                    bound.binding_term,
+                )
+    return table
+
+
+def test_eq8_bound_sweep(benchmark, results_dir):
+    table = benchmark(_sweep)
+    write_result(results_dir, "eq8_bounds", table.to_ascii())
+
+    # CAPS (Strassen exponent) always at or below the classical bound
+    # for these configurations.
+    for row in table.rows:
+        caps, classical = float(row[3]), float(row[4])
+        assert caps <= classical * 1.0000001
+
+
+def test_eq8_memory_trade(benchmark):
+    """More local memory lowers communication until the
+    memory-independent term binds — CAPS's BFS buffer trade."""
+    n, p = 16384, 64
+    m_star = benchmark(bound_crossover_memory, n, p)
+    below = caps_bandwidth_bound(n, p, m_star / 4)
+    at = caps_bandwidth_bound(n, p, m_star)
+    above = caps_bandwidth_bound(n, p, m_star * 4)
+    assert below > at
+    assert above == at  # no further benefit past the crossover

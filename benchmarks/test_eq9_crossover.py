@@ -1,0 +1,55 @@
+"""Eq. 9 analysis (§IV-D): the Strassen/blocked crossover point.
+
+The paper evaluates n = 480*y/z for its platform and concludes the
+crossover is unreachable within 4 GB — reproduced here, along with a
+sweep showing which platform changes pull the crossover into range.
+"""
+
+from conftest import write_result
+
+from repro.core.crossover import analyze_crossover, crossover_dimension
+from repro.machine import generic_smp, haswell_e3_1225
+from repro.util.tables import TextTable
+from repro.util.units import GiB
+
+
+def test_eq9_paper_platform(benchmark, machine, results_dir):
+    analysis = benchmark(analyze_crossover, machine)
+    table = TextTable(["quantity", "value"], ndigits=5)
+    table.add_row("y (Mflop/s)", analysis.y_mflops)
+    table.add_row("z (MB/s)", analysis.z_mbs)
+    table.add_row("crossover n", analysis.crossover_n)
+    table.add_row("max feasible n", analysis.max_feasible_n)
+    table.add_row("reachable", str(analysis.reachable))
+    write_result(results_dir, "eq9_crossover", table.to_ascii())
+
+    # §VI-B: "unable to execute problems large enough to realize the
+    # crossover point".
+    assert not analysis.reachable
+    assert analysis.crossover_n == crossover_dimension(analysis.y_mflops, analysis.z_mbs)
+
+
+def test_eq9_platform_sweep(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for channels in (1, 2, 4, 8):
+            m = generic_smp(
+                cores=4,
+                frequency_hz=3.2e9,
+                dram_channels=channels,
+                dram_capacity_bytes=512 * GiB,
+            )
+            a = analyze_crossover(m)
+            rows.append((channels, a.crossover_n, a.reachable))
+        return rows
+
+    rows = benchmark(sweep)
+    table = TextTable(["channels", "crossover n", "reachable"])
+    table.extend(rows)
+    write_result(results_dir, "eq9_platform_sweep", table.to_ascii())
+
+    # More bandwidth (larger z) pulls the crossover down linearly.
+    ns = [n for _, n, _ in rows]
+    assert ns == sorted(ns, reverse=True)
+    assert rows[0][1] == rows[1][1] * 2  # halving z doubles n
+    assert rows[-1][2]  # 8 channels: reachable

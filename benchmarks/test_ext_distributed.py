@@ -1,0 +1,100 @@
+"""§VIII extension: distributed-memory EP study with an interconnect
+power plane (the paper's stated next step)."""
+
+from conftest import write_result
+
+from repro.distributed import (
+    CapsDistributed,
+    ClusterSpec,
+    DistributedEPStudy,
+    Summa25D,
+    Summa2D,
+)
+from repro.power.planes import Plane
+from repro.util.tables import TextTable
+
+N = 8192
+NODES = (1, 4, 16, 64, 256)
+
+
+def _run():
+    cluster = ClusterSpec()
+    study = DistributedEPStudy(
+        cluster,
+        [Summa2D(cluster), Summa25D(cluster, c=4), CapsDistributed(cluster)],
+        node_counts=NODES,
+    )
+    return study.run(N)
+
+
+def test_ext_distributed(benchmark, results_dir):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["algorithm", "nodes", "time (s)", "comm %", "rank W", "net W", "S"],
+        ndigits=4,
+    )
+    for alg in result.algorithm_names:
+        scaling = {p.parallelism: p.s for p in result.scaling_curve(alg)}
+        for nodes in NODES:
+            run = result.run_for(alg, nodes)
+            table.add_row(
+                result.display_names[alg],
+                nodes,
+                run.time_s,
+                100 * run.profile.comm_fraction,
+                run.rank_power_w,
+                run.planes_w[Plane.PSYS],
+                scaling[nodes],
+            )
+    write_result(results_dir, "ext_distributed", table.to_ascii())
+
+    # CAPS (Strassen flops + Eq. 8 communication) wins at every scale.
+    for nodes in NODES:
+        caps = result.run_for("caps-dist", nodes)
+        assert caps.time_s < result.run_for("summa", nodes).time_s
+        assert caps.time_s < result.run_for("summa25d", nodes).time_s
+    # 2.5D beats 2D on communication wherever replication is usable.
+    for nodes in (4, 16, 64, 256):
+        assert (
+            result.run_for("summa25d", nodes).profile.comm.link_bytes
+            < result.run_for("summa", nodes).profile.comm.link_bytes
+        )
+    # Communication share grows with scale for every algorithm.
+    for alg in result.algorithm_names:
+        fracs = [f for _, f in result.comm_fraction_curve(alg)]
+        assert fracs == sorted(fracs)
+
+
+def test_ext_bsp_imbalance(benchmark, results_dir):
+    """BSP superstep simulation: stragglers vs the EP ratio (the
+    quantitative face of Eq. 2's max-over-units)."""
+    from repro.distributed import BspSimulator, caps_program, summa_program
+
+    cluster = ClusterSpec()
+    sim = BspSimulator(cluster)
+
+    def sweep():
+        rows = []
+        for imb in (0.0, 0.1, 0.3):
+            rs = sim.run(summa_program(cluster, N, 16, imbalance=imb))
+            rc = sim.run(caps_program(cluster, N, 16, imbalance=imb))
+            rows.append(("SUMMA", imb, rs.total_time_s, rs.max_idle_fraction, rs.ep()))
+            rows.append(("CAPS", imb, rc.total_time_s, rc.max_idle_fraction, rc.ep()))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = TextTable(["algorithm", "imbalance", "time (s)", "max idle", "EP_t"], ndigits=4)
+    table.extend(rows)
+    write_result(results_dir, "ext_bsp_imbalance", table.to_ascii())
+
+    by_key = {(alg, imb): (t, idle, ep) for alg, imb, t, idle, ep in rows}
+    for alg in ("SUMMA", "CAPS"):
+        t0, _, ep0 = by_key[(alg, 0.0)]
+        t3, idle3, ep3 = by_key[(alg, 0.3)]
+        assert t3 > t0  # stragglers stretch the run
+        assert idle3 > 0.2
+        assert ep3 < ep0  # and drag the EP ratio
+    # CAPS stays faster than SUMMA at every imbalance level.
+    for imb in (0.0, 0.1, 0.3):
+        assert by_key[("CAPS", imb)][0] < by_key[("SUMMA", imb)][0]

@@ -1,0 +1,18 @@
+"""Fig. 1: the ideal vs. superlinear EP-scaling schematic."""
+
+from conftest import write_result
+
+from repro.reporting.figures import fig1_schematic
+
+
+def test_fig1_schematic(benchmark, results_dir):
+    fig = benchmark(fig1_schematic, 8)
+    write_result(results_dir, "fig1_schematic", fig.render())
+
+    linear = dict(fig.series_values("linear threshold"))
+    ideal = dict(fig.series_values("ideal"))
+    superlinear = dict(fig.series_values("superlinear"))
+    for p in range(2, 9):
+        assert ideal[p] < linear[p] < superlinear[p]
+    # All three curves meet at the single-unit baseline.
+    assert ideal[1] == linear[1] == superlinear[1] == 1.0

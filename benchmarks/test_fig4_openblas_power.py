@@ -1,0 +1,24 @@
+"""Fig. 4: OpenBLAS power scaling (watts vs threads per size).
+
+Paper: highest power of all fixtures (17.7-56.4 W envelope); only the
+LLC-resident 512 case scales near-linearly.
+"""
+
+from conftest import write_result
+
+from repro.core.report import fig456_power_series
+from repro.reporting.figures import fig4_figure
+
+
+def test_fig4_openblas_power(benchmark, paper_study, results_dir):
+    series = benchmark(fig456_power_series, paper_study, "openblas")
+    write_result(results_dir, "fig4_openblas_power", fig4_figure(paper_study).render())
+
+    threads = sorted(paper_study.config.threads)
+    for pts in series.values():
+        watts = dict(pts)
+        ordered = [watts[p] for p in threads]
+        assert ordered == sorted(ordered)  # monotone in threads
+        # Steep growth: the top thread count draws at least 2x the
+        # single-thread package power (paper: 20.2 -> 49.1 W).
+        assert ordered[-1] > 2.0 * ordered[0]

@@ -1,0 +1,26 @@
+"""Fig. 5: Strassen power scaling.
+
+Paper: "sub linear across all problem sizes and all parallel thread
+counts" — the watts-vs-threads curve flattens as threads grow.
+"""
+
+from conftest import write_result
+
+from repro.core.report import fig456_power_series
+from repro.reporting.figures import fig5_figure
+
+
+def test_fig5_strassen_power(benchmark, paper_study, results_dir):
+    series = benchmark(fig456_power_series, paper_study, "strassen")
+    write_result(results_dir, "fig5_strassen_power", fig5_figure(paper_study).render())
+
+    threads = sorted(paper_study.config.threads)
+    for pts in series.values():
+        watts = dict(pts)
+        # Sub-linear power scaling: each added thread buys less power
+        # than the first one did (concave curve).
+        first_step = watts[threads[1]] - watts[threads[0]]
+        last_step = watts[threads[-1]] - watts[threads[-2]]
+        assert last_step < first_step
+        # And far below proportional growth.
+        assert watts[threads[-1]] < watts[threads[0]] * threads[-1] / threads[0]

@@ -1,0 +1,27 @@
+"""Fig. 6: CAPS power scaling.
+
+Paper: sub-linear everywhere; slightly below Strassen at 1-2 threads,
+slightly above at 3-4.
+"""
+
+from conftest import write_result
+
+from repro.core.report import fig456_power_series
+from repro.reporting.figures import fig6_figure
+
+
+def test_fig6_caps_power(benchmark, paper_study, results_dir):
+    series = benchmark(fig456_power_series, paper_study, "caps")
+    write_result(results_dir, "fig6_caps_power", fig6_figure(paper_study).render())
+
+    threads = sorted(paper_study.config.threads)
+    for pts in series.values():
+        watts = dict(pts)
+        assert watts[threads[-1]] < watts[threads[0]] * threads[-1] / threads[0]
+
+    # Cross-fixture relation (paper §VI-C): CAPS below Strassen at one
+    # thread, at/above at the top thread count.
+    caps = paper_study.avg_power_by_threads("caps")
+    strassen = paper_study.avg_power_by_threads("strassen")
+    assert caps[1] <= strassen[1]
+    assert caps[threads[-1]] >= strassen[threads[-1]] - 0.5

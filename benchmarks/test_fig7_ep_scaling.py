@@ -1,0 +1,32 @@
+"""Fig. 7: energy-performance scaling vs the linear threshold.
+
+Paper: OpenBLAS falls "well beyond the linear scale" (superlinear);
+Strassen and CAPS have "ideal or nearly ideal scaling curves", with
+CAPS "slightly closer to the linear scale" than Strassen.
+"""
+
+from conftest import write_result
+
+from repro.core.report import fig7_scaling_series
+from repro.core.scaling import ScalingClass
+from repro.reporting.figures import fig7_figure
+
+
+def test_fig7_ep_scaling(benchmark, paper_study, results_dir):
+    series = benchmark(fig7_scaling_series, paper_study)
+    write_result(results_dir, "fig7_ep_scaling", fig7_figure(paper_study).render())
+
+    pmax = max(paper_study.config.threads)
+    for n in paper_study.config.sizes:
+        curves = {
+            alg: paper_study.scaling_curve(alg, n)
+            for alg in paper_study.algorithm_names
+        }
+        # Every curve starts at the Eq. 5 baseline S = 1.
+        for pts in curves.values():
+            assert pts[0].s == 1.0
+        ob, st, ca = curves["openblas"][-1], curves["strassen"][-1], curves["caps"][-1]
+        assert ob.scaling_class is ScalingClass.SUPERLINEAR
+        assert ob.s > 1.5 * pmax
+        assert st.s <= pmax * 1.05  # at or below the line
+        assert abs(ca.distance_to_linear) <= abs(st.distance_to_linear)

@@ -1,0 +1,58 @@
+"""Eq. 2 on the mixed sequential-parallel workload (block LU)."""
+
+from conftest import write_result
+
+from repro.algorithms import BlockLU, mixed_ep
+from repro.util.tables import TextTable
+
+
+def test_eq2_mixed_workload(benchmark, machine, results_dir):
+    lu = BlockLU(machine, block=128)
+
+    def sweep():
+        return {p: mixed_ep(lu, 1024, p) for p in (1, 2, 3, 4)}
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["threads", "T_s (s)", "max T_p (s)", "serial %", "EP_t"], ndigits=4
+    )
+    for p, report in sorted(reports.items()):
+        table.add_row(
+            p,
+            report.sequential.elapsed_s,
+            report.parallel.elapsed_s,
+            100 * report.sequential_fraction,
+            report.ep_t,
+        )
+    write_result(results_dir, "eq2_mixed_lu", table.to_ascii())
+
+    # Amdahl structure: the serial fraction grows with threads; the
+    # sequential portion's absolute time is thread-independent.
+    fracs = [reports[p].sequential_fraction for p in (1, 2, 3, 4)]
+    assert fracs == sorted(fracs)
+    t_seq = [reports[p].sequential.elapsed_s for p in (1, 2, 3, 4)]
+    assert max(t_seq) / min(t_seq) < 1.02
+    # EP_t grows with threads but sub-linearly (the serial anchor).
+    s4 = reports[4].ep_t / reports[1].ep_t
+    assert 1.0 < s4 < 4 * reports[4].parallel.avg_power_w() / reports[1].parallel.avg_power_w()
+
+
+def test_eq2_protocol_statistics(benchmark, machine, results_dir):
+    """Repetition statistics under the paper's quiesce protocol: the
+    measurement-noise layer gives realistic run-to-run spread."""
+    from repro.algorithms import paper_algorithms
+    from repro.core.protocol import ExperimentProtocol
+
+    proto = ExperimentProtocol(machine, repetitions=5, quiesce_s=60.0, seed=7)
+    result = benchmark.pedantic(
+        lambda: proto.run(paper_algorithms(machine), sizes=(256,), threads=(1, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, "protocol_statistics", result.summary_table().to_ascii())
+
+    for key, tstats in result.time_stats.items():
+        assert tstats.n == 5
+        assert 0 < tstats.relative_spread < 0.05  # real but small spread
+        assert tstats.minimum <= tstats.mean <= tstats.maximum

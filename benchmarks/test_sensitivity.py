@@ -1,0 +1,31 @@
+"""Platform-sensitivity bench: do the paper's conclusions survive a
+wider memory system?  (§VIII's 'larger platforms' question.)"""
+
+from conftest import write_result
+
+from repro.core.sensitivity import channel_sweep, sensitivity_table
+
+
+def test_channel_sensitivity(benchmark, machine, results_dir):
+    points = benchmark.pedantic(
+        lambda: channel_sweep(
+            machine, channels=(1, 2, 4), sizes=(512, 1024), threads=(1, 2, 4)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, "sensitivity_channels", sensitivity_table(points).to_ascii())
+
+    base, two, four = points
+    # The paper's platform (row 1): crossover unreachable, Strassen
+    # family starved to deep sub-linearity.
+    assert not base.crossover_reachable
+    assert base.strassen_s4 < 0.75 * 4
+    # Wider memory: Strassen scaling recovers and the crossover falls
+    # into range -- the conclusions are bandwidth-bound artifacts.
+    assert two.crossover_reachable and four.crossover_reachable
+    assert four.strassen_s4 > base.strassen_s4 * 1.5
+    assert four.strassen_slowdown < base.strassen_slowdown
+    # OpenBLAS's superlinear EP scaling is robust to all of it.
+    for p in points:
+        assert p.openblas_s4 > 1.5 * 4

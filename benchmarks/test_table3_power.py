@@ -1,0 +1,32 @@
+"""Table III: average package watts by thread count.
+
+Paper values: OpenBLAS 20.2/30.9/40.98/49.13 W, Strassen
+21.1/26.25/30.4/31.9 W, CAPS 17.7/25.75/30.175/33.175 W.
+"""
+
+from conftest import write_result
+
+from repro.core.report import table3_power
+
+
+def test_table3_power(benchmark, paper_study, results_dir):
+    table = benchmark(table3_power, paper_study)
+    write_result(results_dir, "table3_power", table.to_ascii())
+
+    ob = paper_study.avg_power_by_threads("openblas")
+    st = paper_study.avg_power_by_threads("strassen")
+    ca = paper_study.avg_power_by_threads("caps")
+    pmax = max(paper_study.config.threads)
+
+    # OpenBLAS draws the most at every thread count >= 2 and grows the
+    # steepest; the Strassen family stays flat by comparison.
+    for p in paper_study.config.threads:
+        if p >= 2:
+            assert ob[p] > st[p] and ob[p] > ca[p]
+    assert (ob[pmax] - ob[1]) > 2 * (st[pmax] - st[1])
+    # CAPS 1-thread row is the lowest (paper: 17.7 W).
+    assert ca[1] <= st[1] and ca[1] <= ob[1] * 1.05
+    # Absolute envelope sanity: the calibrated model lands in the
+    # paper's 17-57 W range.
+    for watts in (ob, st, ca):
+        assert all(15.0 < w < 60.0 for w in watts.values())

@@ -1,0 +1,28 @@
+"""Table IV: average energy performance (Eq. 1, power convention).
+
+Paper ordering: OpenBLAS >> CAPS > Strassen at every size, with EP
+falling steeply as n grows (EP = avg watts / runtime).
+"""
+
+from conftest import write_result
+
+from repro.core.report import table4_ep
+
+
+def test_table4_ep(benchmark, paper_study, results_dir):
+    table = benchmark(table4_ep, paper_study)
+    write_result(results_dir, "table4_ep", table.to_ascii())
+
+    sizes = paper_study.config.sizes
+    ob = paper_study.avg_ep_by_size("openblas")
+    st = paper_study.avg_ep_by_size("strassen")
+    ca = paper_study.avg_ep_by_size("caps")
+
+    for n in sizes:
+        assert ob[n] > 2 * max(st[n], ca[n])  # OpenBLAS far above
+        assert ca[n] > st[n] * 0.9  # CAPS at or slightly above Strassen
+    # EP falls steeply with problem size (runtime grows ~n^3).
+    for table_by_size in (ob, st, ca):
+        values = [table_by_size[n] for n in sorted(sizes)]
+        assert values == sorted(values, reverse=True)
+        assert values[0] > 5 * values[-1]

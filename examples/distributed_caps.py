@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""§VIII extension: distributed-memory EP study.
+
+The paper's stated next step — "migrate the current implementation to a
+distributed memory implementation using MPI... taking into account the
+power associated with transmitting memory blocks across the
+interconnect".  This example sweeps node counts for CAPS against SUMMA
+2D/2.5D baselines over a cluster of the paper's own nodes, with the
+interconnect as an explicit power plane, and applies Eq. 4/5.
+
+Run:  python examples/distributed_caps.py
+"""
+
+from repro.distributed import (
+    CapsDistributed,
+    ClusterSpec,
+    DistributedEPStudy,
+    Summa25D,
+    Summa2D,
+)
+from repro.power.planes import Plane
+from repro.reporting import AsciiChart
+from repro.util.tables import TextTable
+
+N = 8192
+NODES = (1, 4, 16, 64, 256, 1024)
+
+
+def main() -> None:
+    cluster = ClusterSpec()
+    print(
+        f"cluster: {cluster.node.name} nodes, "
+        f"{cluster.interconnect.bandwidth_bytes_per_s / 1e9:.1f} GB/s links, "
+        f"{cluster.interconnect.link_static_w:.1f} W/port\n"
+    )
+    study = DistributedEPStudy(
+        cluster,
+        [Summa2D(cluster), Summa25D(cluster, c=4), CapsDistributed(cluster)],
+        node_counts=NODES,
+    )
+    result = study.run(N)
+
+    table = TextTable(
+        ["algorithm", "nodes", "time (s)", "comm %", "rank W", "net W", "cluster W"],
+        ndigits=4,
+    )
+    for alg in result.algorithm_names:
+        for nodes in NODES:
+            run = result.run_for(alg, nodes)
+            table.add_row(
+                result.display_names[alg],
+                nodes,
+                run.time_s,
+                100 * run.profile.comm_fraction,
+                run.rank_power_w,
+                run.planes_w[Plane.PSYS],
+                run.cluster_power_w,
+            )
+    print(f"n = {N} distributed multiply")
+    print(table.to_ascii())
+    print()
+
+    chart = AsciiChart(width=56, height=14)
+    series = {
+        result.display_names[alg]: [
+            (float(p), result.run_for(alg, p).profile.comm_fraction * 100)
+            for p in NODES
+        ]
+        for alg in result.algorithm_names
+    }
+    print(chart.render(series, title="communication share vs nodes",
+                       xlabel="nodes", ylabel="% of rank time"))
+    print()
+
+    print("Eq. 5 EP scaling over node counts:")
+    for alg in result.algorithm_names:
+        pts = result.scaling_curve(alg)
+        rel = ", ".join(
+            f"P={p.parallelism}: S/P={p.s / p.parallelism:.2f}" for p in pts[1:]
+        )
+        print(f"  {result.display_names[alg]:11s} {rel}")
+    print(
+        "\n(S/P < 1: power grows slower than performance - the "
+        "communication-avoiding algorithm keeps it lowest at scale)"
+    )
+
+
+if __name__ == "__main__":
+    main()

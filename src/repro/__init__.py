@@ -1,0 +1,56 @@
+"""repro — reproduction of *Communication Avoiding Power Scaling*
+(Yong Chen & John Leidel, ICPP Workshops 2015, DOI 10.1109/ICPPW.2015.26).
+
+The package provides:
+
+* :mod:`repro.core` — the paper's contribution: the energy-performance
+  (EP) scaling model (Eqs. 1-6), the CAPS communication bound (Eq. 8),
+  the Strassen crossover model (Eq. 9) and the full study driver;
+* :mod:`repro.machine` — a simulated SMP platform (the paper's Haswell
+  E3-1225 ships as :func:`repro.machine.haswell_e3_1225`);
+* :mod:`repro.runtime` — an OpenMP-like simulated task runtime;
+* :mod:`repro.power` — RAPL MSR emulation, a PAPI-like API, power traces;
+* :mod:`repro.sim` — the execution engine and measurements;
+* :mod:`repro.algorithms` — blocked DGEMM, Strassen-Winograd and CAPS;
+* :mod:`repro.linalg` — numerics, stability bounds, verification;
+* :mod:`repro.distributed`, :mod:`repro.sparse` — the paper's §VIII
+  future-work extensions (distributed-memory EP, sparse-format EP);
+* :mod:`repro.reporting` — ASCII figures and table emission.
+
+Quickstart::
+
+    from repro import haswell_e3_1225, EnergyPerformanceStudy, StudyConfig
+    from repro.core import table3_power
+
+    machine = haswell_e3_1225()
+    study = EnergyPerformanceStudy(machine, config=StudyConfig(sizes=(512, 1024)))
+    result = study.run()
+    print(table3_power(result).to_ascii())
+"""
+
+from .core.study import (
+    PAPER_SIZES,
+    PAPER_THREADS,
+    EnergyPerformanceStudy,
+    StudyConfig,
+    StudyResult,
+)
+from .machine.specs import MachineSpec, generic_smp, haswell_e3_1225
+from .sim.engine import Engine
+from .sim.measurement import RunMeasurement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "EnergyPerformanceStudy",
+    "MachineSpec",
+    "PAPER_SIZES",
+    "PAPER_THREADS",
+    "RunMeasurement",
+    "StudyConfig",
+    "StudyResult",
+    "__version__",
+    "generic_smp",
+    "haswell_e3_1225",
+]

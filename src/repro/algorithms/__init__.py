@@ -1,0 +1,39 @@
+"""The paper's three matrix-multiplication fixtures (§IV) as task-graph
+lowerings: tuned blocked DGEMM ("OpenBLAS"), BOTS-style Strassen-Winograd
+and Communication Avoiding Parallel Strassen (CAPS)."""
+
+from .base import BuildResult, MatmulAlgorithm
+from .blocked import BlockedGemm
+from .caps import CapsStrassen
+from .kernels import addition_cost, blocked_tile_cost, leaf_gemm_cost
+from .mixed import BlockLU, LUBuildResult, MixedEPReport, mixed_ep
+from .registry import ALGORITHMS, make_algorithm, paper_algorithms
+from .strassen import StrassenWinograd
+from .traffic import LevelTraffic, block_factor, gemm_traffic, streaming_traffic
+from .tuning import Blocking, select_blocking, tile_grid, tune_parameter
+
+__all__ = [
+    "ALGORITHMS",
+    "BlockLU",
+    "Blocking",
+    "BlockedGemm",
+    "BuildResult",
+    "LUBuildResult",
+    "MixedEPReport",
+    "mixed_ep",
+    "CapsStrassen",
+    "LevelTraffic",
+    "MatmulAlgorithm",
+    "StrassenWinograd",
+    "addition_cost",
+    "block_factor",
+    "blocked_tile_cost",
+    "gemm_traffic",
+    "leaf_gemm_cost",
+    "make_algorithm",
+    "paper_algorithms",
+    "select_blocking",
+    "streaming_traffic",
+    "tile_grid",
+    "tune_parameter",
+]

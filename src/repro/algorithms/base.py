@@ -1,0 +1,132 @@
+"""Common interface of the three matrix-multiplication algorithms.
+
+Each algorithm (§IV: OpenBLAS-style blocked, Strassen-Winograd, CAPS)
+*lowers* a problem instance to a :class:`~repro.runtime.task.TaskGraph`
+whose tasks carry both the analytical cost vectors (driving the
+simulator) and optional numpy closures (performing the real numerics so
+results can be verified against ``numpy.matmul``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..linalg.dense import random_matrix, working_set_bytes
+from ..linalg.verify import VerificationReport, verify_matmul
+from ..machine.specs import MachineSpec
+from ..runtime.task import TaskGraph
+from ..util.errors import ConfigurationError, ValidationError
+from ..util.validation import require_positive
+
+__all__ = ["BuildResult", "MatmulAlgorithm"]
+
+
+@dataclass
+class BuildResult:
+    """A lowered problem instance.
+
+    Attributes
+    ----------
+    graph:
+        The task graph to schedule.
+    n:
+        Problem dimension.
+    a, b, c:
+        Operands and output when built with ``execute=True``; ``None``
+        in cost-only mode (used for the largest study sizes, where the
+        simulator needs only the cost vectors).
+    variant:
+        Stability-bound variant for verification ("classical",
+        "strassen", "winograd").
+    cutoff:
+        Recursion cutoff relevant to the stability bound.
+    """
+
+    graph: TaskGraph
+    n: int
+    a: np.ndarray | None
+    b: np.ndarray | None
+    c: np.ndarray | None
+    variant: str = "classical"
+    cutoff: int = 64
+
+    @property
+    def cost_only(self) -> bool:
+        """True when no real numerics are attached."""
+        return self.c is None
+
+    def verify(self) -> VerificationReport:
+        """Check the computed product against numpy within the stability
+        bound.  Only valid after the graph has been *executed* (run
+        through the scheduler with ``execute=True``)."""
+        if self.cost_only:
+            raise ValidationError(
+                "cannot verify a cost-only build (execute=False)"
+            )
+        return verify_matmul(self.a, self.b, self.c, self.variant, self.cutoff)
+
+
+class MatmulAlgorithm(ABC):
+    """Base class: builds task graphs for ``C = A @ B`` on a machine."""
+
+    #: short registry name, e.g. "openblas"
+    name: str = "abstract"
+    #: display name used in tables, e.g. "OpenBLAS"
+    display_name: str = "Abstract"
+
+    def __init__(self, machine: MachineSpec):
+        self.machine = machine
+
+    @abstractmethod
+    def flop_count(self, n: int) -> float:
+        """Flops the algorithm performs for an n x n multiply."""
+
+    @abstractmethod
+    def build(
+        self,
+        n: int,
+        threads: int,
+        seed: int = 0,
+        execute: bool = True,
+    ) -> BuildResult:
+        """Lower an n x n problem to a task graph.
+
+        ``threads`` informs work-sharing chunk counts (OpenMP static
+        schedules depend on the team size); ``execute=False`` skips all
+        array allocation and numpy closures.
+        """
+
+    def memory_footprint_bytes(self, n: int) -> float:
+        """Resident bytes the algorithm needs (operands + temporaries).
+
+        Subclasses with intermediate buffers override this; the study
+        driver uses it to refuse problems that exceed DRAM capacity —
+        the paper's "both Strassen-derived approaches require additional
+        intermediate result buffers that prevent us from running
+        problems larger than 4096x4096" (§VI-A).
+        """
+        return working_set_bytes(n, matrices=3)
+
+    def check_memory(self, n: int) -> None:
+        """Raise when the problem cannot fit in machine memory."""
+        need = self.memory_footprint_bytes(n)
+        if not self.machine.dram.fits(need):
+            raise ConfigurationError(
+                f"{self.display_name}: n={n} needs {need / 2**30:.2f} GiB but "
+                f"machine has {self.machine.dram.capacity_bytes / 2**30:.2f} GiB"
+            )
+
+    def _operands(
+        self, n: int, seed: int, execute: bool
+    ) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+        """Allocate (A, B, C) or return Nones in cost-only mode."""
+        require_positive(n, "n")
+        if not execute:
+            return None, None, None
+        a = random_matrix(n, seed=seed)
+        b = random_matrix(n, seed=seed + 1)
+        c = np.zeros((n, n), dtype=np.float64)
+        return a, b, c

@@ -1,0 +1,122 @@
+"""Task-cost builders for the primitive kernels.
+
+Three primitives cover all three algorithms:
+
+* :func:`blocked_tile_cost` — one output tile of the blocked DGEMM,
+  executed by a Goto-quality packed microkernel (the paper's tuned
+  OpenBLAS path, ~90 %+ of peak);
+* :func:`leaf_gemm_cost` — a Strassen/CAPS recursion leaf solved by the
+  BOTS "manually unrolled" dense solver (§IV-B), distinctly less
+  efficient than a packed BLAS kernel;
+* :func:`addition_cost` — the matrix additions the Strassen family
+  interposes between multiplies; nearly flop-free and entirely
+  bandwidth-bound, these are the algorithm's *communication*.
+"""
+
+from __future__ import annotations
+
+from ..machine.specs import MachineSpec
+from ..runtime.cost import TaskCost
+from ..util.validation import require_fraction, require_positive
+from .traffic import gemm_traffic, streaming_traffic
+
+__all__ = ["blocked_tile_cost", "leaf_gemm_cost", "addition_cost"]
+
+_WORD = 8
+
+
+def blocked_tile_cost(
+    mt: int,
+    nt: int,
+    k: int,
+    machine: MachineSpec,
+    efficiency: float,
+    dram_bytes: float,
+) -> TaskCost:
+    """Cost of computing one ``mt x nt`` tile of C over the full ``k``
+    reduction dimension.
+
+    *dram_bytes* is this task's share of the algorithm-level DRAM
+    traffic: the reuse structure that determines memory-channel volume
+    (LLC-resident problem vs. L3-blocked streaming) spans tiles, so the
+    algorithm computes the total and apportions it by flops.
+    """
+    require_positive(mt, "mt")
+    require_positive(nt, "nt")
+    require_positive(k, "k")
+    require_fraction(efficiency, "efficiency")
+    traffic = gemm_traffic(mt, nt, k, machine.caches)
+    return TaskCost(
+        flops=2.0 * mt * nt * k,
+        efficiency=efficiency,
+        bytes_l1=traffic.l1,
+        bytes_l2=traffic.l2,
+        bytes_l3=traffic.l3,
+        bytes_dram=max(0.0, dram_bytes),
+    )
+
+
+def leaf_gemm_cost(
+    s: int,
+    machine: MachineSpec,
+    efficiency: float,
+    locality: float,
+    reuse: float = 16.0,
+) -> TaskCost:
+    """Cost of one ``s x s`` recursion-leaf multiply by the BOTS-style
+    *manually unrolled* dense solver.
+
+    Unlike a packed BLAS microkernel, the unrolled solver only achieves
+    register-level reuse (*reuse* ~ its unroll footprint), so its cache
+    and memory traffic is ``volume / reuse`` with ``volume = 8 * 2 s^3``
+    bytes — orders of magnitude more than a Goto kernel's.  This traffic
+    is what starves the Strassen family of scaling on the paper's
+    single-DIMM platform.  *locality* discounts the DRAM share: the
+    fraction of re-reads served by the LLC (higher for CAPS's contiguous
+    private buffers).
+    """
+    require_positive(s, "s")
+    require_fraction(efficiency, "efficiency")
+    require_positive(reuse, "reuse")
+    volume = 2.0 * float(s) ** 3 * _WORD
+    llc = machine.caches.last_level_capacity
+    ws = 3.0 * s * s * _WORD
+    fit = min(1.0, llc / ws)
+    return TaskCost(
+        flops=2.0 * float(s) ** 3,
+        efficiency=efficiency,
+        bytes_l1=volume / (reuse / 4.0),
+        bytes_l2=volume / (reuse / 2.0),
+        bytes_l3=volume / reuse,
+        bytes_dram=(volume / reuse) * (1.0 - locality * fit),
+    )
+
+
+def addition_cost(
+    h: int,
+    n_ops: int,
+    machine: MachineSpec,
+    locality: float,
+    efficiency: float = 0.5,
+) -> TaskCost:
+    """Cost of *n_ops* elementwise add/subtract passes over ``h x h``
+    matrices (two operand reads plus one result write each).
+
+    One flop per element against 24 bytes of traffic: arithmetic
+    intensity ~0.04 flop/byte, hopelessly DRAM-bound whenever the
+    operands spill the LLC.  This is where Strassen loses its power
+    advantage at scale and where CAPS's locality buys it back.
+    """
+    require_positive(h, "h")
+    require_positive(n_ops, "n_ops")
+    require_fraction(efficiency, "efficiency")
+    nbytes = 3.0 * h * h * _WORD * n_ops
+    stream = streaming_traffic(nbytes, machine, locality)
+    return TaskCost(
+        flops=float(n_ops) * h * h,
+        efficiency=efficiency,
+        bytes_l1=stream.l1,
+        bytes_l2=stream.l2,
+        bytes_l3=stream.l3,
+        bytes_dram=stream.dram,
+    )

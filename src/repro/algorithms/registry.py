@@ -1,0 +1,48 @@
+"""Algorithm registry: name -> factory.
+
+The study driver and the benchmarks look fixtures up by the short names
+used throughout the paper's tables: ``openblas``, ``strassen``, ``caps``
+(plus the ``strassen-classic`` ablation variant).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..machine.specs import MachineSpec
+from ..util.errors import ConfigurationError
+from .base import MatmulAlgorithm
+from .blocked import BlockedGemm
+from .caps import CapsStrassen
+from .strassen import StrassenWinograd
+
+__all__ = ["ALGORITHMS", "make_algorithm", "paper_algorithms"]
+
+ALGORITHMS: dict[str, Callable[..., MatmulAlgorithm]] = {
+    "openblas": BlockedGemm,
+    "strassen": StrassenWinograd,
+    "strassen-classic": lambda machine, **kw: StrassenWinograd(
+        machine, classic=True, **kw
+    ),
+    "caps": CapsStrassen,
+}
+
+
+def make_algorithm(name: str, machine: MachineSpec, **kwargs) -> MatmulAlgorithm:
+    """Instantiate a registered algorithm on *machine*."""
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+    return factory(machine, **kwargs)
+
+
+def paper_algorithms(machine: MachineSpec) -> list[MatmulAlgorithm]:
+    """The paper's three fixtures, in its table order."""
+    return [
+        make_algorithm("openblas", machine),
+        make_algorithm("strassen", machine),
+        make_algorithm("caps", machine),
+    ]

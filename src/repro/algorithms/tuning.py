@@ -1,0 +1,97 @@
+"""Platform tuning: blocking factors, tile grids, cutoff search.
+
+Mirrors the tuning the paper performs on its fixtures: OpenBLAS derives
+its blocking from the cache hierarchy (§IV-A), while the Strassen/CAPS
+cutoffs ("the optimal point of recursion to revert to the dense solver
+is when the sub-matrix Nth dimension is <= 64"; "a cutoff depth of four",
+§IV-B/C) were found "after much empirical testing" — reproduced here as
+a search that actually simulates the candidates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..machine.specs import MachineSpec
+from ..util.errors import ConfigurationError
+from ..util.validation import require_positive
+from .traffic import block_factor
+
+__all__ = ["Blocking", "select_blocking", "tile_grid", "tune_parameter"]
+
+
+@dataclass(frozen=True)
+class Blocking:
+    """Per-level square blocking factors (elements per tile side)."""
+
+    b1: int
+    b2: int
+    b3: int
+
+    def __post_init__(self) -> None:
+        if not (0 < self.b1 <= self.b2 <= self.b3):
+            raise ConfigurationError(
+                f"blocking factors must be 0 < b1 <= b2 <= b3, got {self}"
+            )
+
+
+def select_blocking(machine: MachineSpec) -> Blocking:
+    """Blocking factors from cache capacities: the largest b with three
+    ``b x b`` double tiles resident at each level."""
+    caches = machine.caches
+    return Blocking(
+        b1=block_factor(caches.level("L1").capacity_bytes),
+        b2=block_factor(caches.level("L2").capacity_bytes),
+        b3=block_factor(caches.level("L3").capacity_bytes),
+    )
+
+
+def tile_grid(n: int, threads: int, min_tiles_per_thread: int = 2) -> list[tuple[int, int]]:
+    """Split ``n`` output rows/cols into a grid of tile extents.
+
+    Returns the extents along one dimension as ``(offset, size)`` pairs.
+    The grid is sized so the (i, j) tile space offers at least
+    ``min_tiles_per_thread * threads`` tasks — enough slack for the
+    scheduler to balance load, the way OpenBLAS partitions its outer
+    loops across the OpenMP team.
+    """
+    require_positive(n, "n")
+    require_positive(threads, "threads")
+    want = max(1, min_tiles_per_thread * threads)
+    per_dim = max(1, math.ceil(math.sqrt(want)))
+    # Prefer a grid whose tile count divides evenly across the team, as
+    # OpenBLAS's thread partitioning does — avoids a ragged final wave.
+    for candidate in range(per_dim, per_dim + threads + 1):
+        if (candidate * candidate) % threads == 0:
+            per_dim = candidate
+            break
+    per_dim = min(per_dim, n)
+    base = n // per_dim
+    extra = n % per_dim
+    extents: list[tuple[int, int]] = []
+    offset = 0
+    for i in range(per_dim):
+        size = base + (1 if i < extra else 0)
+        extents.append((offset, size))
+        offset += size
+    return extents
+
+
+def tune_parameter(
+    candidates: Sequence[int],
+    objective: Callable[[int], float],
+) -> tuple[int, dict[int, float]]:
+    """Pick the candidate minimising *objective* (e.g. simulated
+    runtime), returning the winner and all scores.
+
+    This is the reproducible version of the paper's "after executing
+    several empirical tests" — the cutoff benchmarks call it with an
+    objective that builds and simulates the candidate configuration.
+    """
+    if not candidates:
+        raise ConfigurationError("tune_parameter needs at least one candidate")
+    scores = {c: float(objective(c)) for c in candidates}
+    best = min(scores, key=lambda c: (scores[c], c))
+    return best, scores

@@ -1,0 +1,313 @@
+"""Command-line interface.
+
+Exposes the library's studies and analyses as subcommands::
+
+    repro describe                      # the simulated platform
+    repro study --sizes 256 512        # the EP study, tables II-IV
+    repro choose --n 512 --cap 35     # power-capped algorithm choice
+    repro crossover [--channels 4]     # Eq. 9 analysis
+    repro bounds --n 8192 --procs 64  # Eq. 8 analysis
+    repro sparse --pattern banded      # SpMV storage-scheme study
+    repro distributed --n 8192        # distributed EP study
+
+(also runnable as ``python -m repro ...``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import EnergyPerformanceStudy, StudyConfig
+from .core import (
+    analyze_crossover,
+    choice_table,
+    communication_bound_words,
+    select_under_power_cap,
+    table2_slowdown,
+    table3_power,
+    table4_ep,
+)
+from .machine import generic_smp, haswell_e3_1225
+from .util.errors import ReproError
+from .util.tables import TextTable
+from .util.units import GHZ, GiB
+
+__all__ = ["main", "build_parser"]
+
+
+def _machine_from_args(args) -> "MachineSpec":
+    if args.cores is None and args.channels is None and args.frequency_ghz is None:
+        return haswell_e3_1225()
+    return generic_smp(
+        cores=args.cores or 4,
+        frequency_hz=(args.frequency_ghz or 3.2) * GHZ,
+        dram_channels=args.channels or 1,
+        dram_capacity_bytes=(args.memory_gib or 4) * GiB,
+    )
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cores", type=int, default=None, help="core count (default: paper platform)")
+    parser.add_argument("--channels", type=int, default=None, help="DRAM channels")
+    parser.add_argument("--frequency-ghz", type=float, default=None, help="core clock in GHz")
+    parser.add_argument("--memory-gib", type=int, default=None, help="DRAM capacity in GiB")
+
+
+def _emit(table: TextTable, fmt: str) -> str:
+    if fmt == "markdown":
+        return table.to_markdown()
+    if fmt == "csv":
+        return table.to_csv()
+    return table.to_ascii()
+
+
+def cmd_describe(args) -> int:
+    print(_machine_from_args(args).describe())
+    return 0
+
+
+def cmd_study(args) -> int:
+    machine = _machine_from_args(args)
+    config = StudyConfig(
+        sizes=tuple(args.sizes),
+        threads=tuple(args.threads),
+        execute_max_n=args.execute_max_n,
+        verify=not args.no_verify,
+    )
+    result = EnergyPerformanceStudy(machine, config=config).run()
+    for title, table in (
+        ("Table II - average slowdown vs baseline", table2_slowdown(result)),
+        ("Table III - average watts by thread count", table3_power(result)),
+        ("Table IV - average energy performance", table4_ep(result)),
+    ):
+        print(title)
+        print(_emit(table, args.format))
+        print()
+    if args.figures:
+        from .reporting import fig3_figure, fig4_figure, fig5_figure, fig6_figure, fig7_figure
+
+        for builder in (fig3_figure, fig4_figure, fig5_figure, fig6_figure, fig7_figure):
+            print(builder(result).render())
+            print()
+    return 0
+
+
+def cmd_choose(args) -> int:
+    machine = _machine_from_args(args)
+    config = StudyConfig(
+        sizes=(args.n,),
+        threads=tuple(args.threads),
+        execute_max_n=0,
+        verify=False,
+    )
+    result = EnergyPerformanceStudy(machine, config=config).run()
+    print(f"operating points for n={args.n} (pareto-optimal marked *):")
+    print(_emit(choice_table(result, args.n), args.format))
+    print()
+    if args.cap is not None:
+        pick = select_under_power_cap(result, args.n, args.cap, args.metric)
+        if pick is None:
+            print(f"no configuration fits a {args.cap} W {args.metric}-power cap")
+            return 1
+        print(
+            f"best under {args.cap} W ({args.metric}): "
+            f"{pick.algorithm} x {pick.threads} threads - "
+            f"{pick.time_s:.4g} s at {pick.power(args.metric):.1f} W"
+        )
+    return 0
+
+
+def cmd_crossover(args) -> int:
+    machine = _machine_from_args(args)
+    a = analyze_crossover(machine, efficiency=args.efficiency)
+    table = TextTable(["quantity", "value"], ndigits=5)
+    table.add_row("platform", machine.name)
+    table.add_row("y (Mflop/s)", a.y_mflops)
+    table.add_row("z (MB/s)", a.z_mbs)
+    table.add_row("crossover n (Eq. 9)", a.crossover_n)
+    table.add_row("max feasible n", a.max_feasible_n)
+    table.add_row("reachable", str(a.reachable))
+    print(_emit(table, args.format))
+    return 0
+
+
+def cmd_bounds(args) -> int:
+    table = TextTable(
+        ["M (words)", "CAPS words", "classical words", "regime"], ndigits=5
+    )
+    for m in args.memory_words:
+        strassen = communication_bound_words(args.n, args.procs, m)
+        classical = communication_bound_words(args.n, args.procs, m, omega0=3.0)
+        table.add_row(m, strassen.words, classical.words, strassen.binding_term)
+    print(f"Eq. 8 bounds for n={args.n}, P={args.procs}:")
+    print(_emit(table, args.format))
+    return 0
+
+
+def cmd_sparse(args) -> int:
+    from .sparse import SparseEPStudy, banded, power_law, uniform_random
+
+    machine = _machine_from_args(args)
+    if args.pattern == "banded":
+        pattern = banded(args.n, args.bandwidth, seed=args.seed)
+    elif args.pattern == "random":
+        pattern = uniform_random(args.n, args.density, seed=args.seed)
+    else:
+        pattern = power_law(args.n, avg_degree=args.degree, seed=args.seed)
+    result = SparseEPStudy(
+        machine, pattern, repeats=args.repeats, verify=not args.no_verify
+    ).run()
+    print(f"SpMV storage-scheme study: {args.pattern}, n={args.n}, nnz={pattern.nnz}")
+    print(_emit(result.summary_table(), args.format))
+    return 0
+
+
+def cmd_distributed(args) -> int:
+    from .distributed import (
+        CapsDistributed,
+        ClusterSpec,
+        DistributedEPStudy,
+        Summa25D,
+        Summa2D,
+    )
+    from .power.planes import Plane
+
+    cluster = ClusterSpec(node=_machine_from_args(args))
+    study = DistributedEPStudy(
+        cluster,
+        [Summa2D(cluster), Summa25D(cluster, c=4), CapsDistributed(cluster)],
+        node_counts=tuple(args.nodes),
+    )
+    result = study.run(args.n)
+    table = TextTable(
+        ["algorithm", "nodes", "time (s)", "comm %", "rank W", "net W"], ndigits=4
+    )
+    for alg in result.algorithm_names:
+        for nodes in args.nodes:
+            run = result.run_for(alg, nodes)
+            table.add_row(
+                result.display_names[alg],
+                nodes,
+                run.time_s,
+                100 * run.profile.comm_fraction,
+                run.rank_power_w,
+                run.planes_w[Plane.PSYS],
+            )
+    print(_emit(table, args.format))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .algorithms import make_algorithm
+    from .reporting import render_gantt, write_chrome_trace
+    from .runtime import Scheduler
+    from .sim import Engine
+
+    machine = _machine_from_args(args)
+    algorithm = make_algorithm(args.alg, machine)
+    build = algorithm.build(args.n, args.threads, execute=False)
+    schedule = Scheduler(machine, args.threads, policy=args.policy, execute=False).run(
+        build.graph
+    )
+    measurement = Engine(machine).measure(schedule, label=f"{args.alg}[n={args.n}]")
+    print(render_gantt(schedule, width=68))
+    print()
+    print(measurement.summary())
+    if args.out:
+        path = write_chrome_trace(schedule, args.out, power=measurement.trace)
+        print(f"wrote chrome://tracing file to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Communication Avoiding Power Scaling - reproduction toolkit",
+    )
+    parser.add_argument(
+        "--format", choices=("ascii", "markdown", "csv"), default="ascii",
+        help="table output format",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("describe", help="print the simulated platform spec")
+    _add_machine_args(p)
+    p.set_defaults(func=cmd_describe)
+
+    p = sub.add_parser("study", help="run the EP study (Tables II-IV)")
+    _add_machine_args(p)
+    p.add_argument("--sizes", type=int, nargs="+", default=[256, 512])
+    p.add_argument("--threads", type=int, nargs="+", default=[1, 2, 3, 4])
+    p.add_argument("--execute-max-n", type=int, default=512,
+                   help="largest size to run real numerics for")
+    p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--figures", action="store_true", help="render ASCII figures too")
+    p.set_defaults(func=cmd_study)
+
+    p = sub.add_parser("choose", help="algorithm choice under a power cap")
+    _add_machine_args(p)
+    p.add_argument("--n", type=int, default=512)
+    p.add_argument("--threads", type=int, nargs="+", default=[1, 2, 3, 4])
+    p.add_argument("--cap", type=float, default=None, help="power cap in watts")
+    p.add_argument("--metric", choices=("avg", "peak"), default="peak")
+    p.set_defaults(func=cmd_choose)
+
+    p = sub.add_parser("crossover", help="Eq. 9 crossover analysis")
+    _add_machine_args(p)
+    p.add_argument("--efficiency", type=float, default=0.92)
+    p.set_defaults(func=cmd_crossover)
+
+    p = sub.add_parser("bounds", help="Eq. 8 communication bounds")
+    p.add_argument("--n", type=int, default=8192)
+    p.add_argument("--procs", type=int, default=64)
+    p.add_argument("--memory-words", type=float, nargs="+",
+                   default=[2**18, 2**22, 2**26])
+    p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser("sparse", help="SpMV storage-scheme EP study")
+    _add_machine_args(p)
+    p.add_argument("--pattern", choices=("banded", "random", "powerlaw"),
+                   default="banded")
+    p.add_argument("--n", type=int, default=512)
+    p.add_argument("--bandwidth", type=int, default=8)
+    p.add_argument("--density", type=float, default=0.01)
+    p.add_argument("--degree", type=float, default=8.0)
+    p.add_argument("--repeats", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-verify", action="store_true")
+    p.set_defaults(func=cmd_sparse)
+
+    p = sub.add_parser("distributed", help="distributed-memory EP study")
+    _add_machine_args(p)
+    p.add_argument("--n", type=int, default=8192)
+    p.add_argument("--nodes", type=int, nargs="+", default=[1, 4, 16, 64])
+    p.set_defaults(func=cmd_distributed)
+
+    p = sub.add_parser("trace", help="schedule one algorithm and export a trace")
+    _add_machine_args(p)
+    p.add_argument("--alg", default="caps", help="algorithm name (see registry)")
+    p.add_argument("--n", type=int, default=512)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--policy", default="fifo",
+                   choices=("fifo", "lifo", "critical", "steal"))
+    p.add_argument("--out", default=None, help="chrome://tracing JSON output path")
+    p.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Communication bounds — the paper's Equation 8 (§IV-C).
+
+CAPS attains the communication lower bound for Strassen-like algorithms
+(Ballard et al. [10][11]): with ``P`` processors, local memory ``M``
+words and exponent ``w0 = log2 7``, the per-processor bandwidth cost of
+an ``n x n`` multiply is::
+
+    max( n^w0 / (P * M^(w0/2 - 1)),   n^2 / P^(2/w0) )
+
+The first term is the memory-dependent bound (dominates when M is
+small); the second is the memory-independent bound (dominates with
+ample memory).  For comparison, the classical-algorithm bound uses
+``w0 = 3``: ``max(n^3 / (P sqrt(M)), n^2 / P^(2/3))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..util.validation import require_positive
+
+__all__ = [
+    "OMEGA_STRASSEN",
+    "OMEGA_CLASSICAL",
+    "communication_bound_words",
+    "caps_bandwidth_bound",
+    "classical_bandwidth_bound",
+    "bound_crossover_memory",
+    "CommunicationBound",
+]
+
+#: Strassen exponent, log2(7).
+OMEGA_STRASSEN = math.log2(7.0)
+#: Classical matmul exponent.
+OMEGA_CLASSICAL = 3.0
+
+
+@dataclass(frozen=True)
+class CommunicationBound:
+    """Both terms of Eq. 8 plus which one binds."""
+
+    memory_dependent: float
+    memory_independent: float
+
+    @property
+    def words(self) -> float:
+        """The bound itself: the max of the two terms."""
+        return max(self.memory_dependent, self.memory_independent)
+
+    @property
+    def binding_term(self) -> str:
+        """Which regime the configuration sits in."""
+        if self.memory_dependent >= self.memory_independent:
+            return "memory-dependent"
+        return "memory-independent"
+
+
+def communication_bound_words(
+    n: float, p: float, m: float, omega0: float = OMEGA_STRASSEN
+) -> CommunicationBound:
+    """Eq. 8 for arbitrary exponent ``omega0``: words moved per
+    processor for an n x n multiply on P processors with M words of
+    local memory."""
+    require_positive(n, "n")
+    require_positive(p, "p")
+    require_positive(m, "m")
+    require_positive(omega0, "omega0")
+    dependent = n**omega0 / (p * m ** (omega0 / 2.0 - 1.0))
+    independent = n**2 / p ** (2.0 / omega0)
+    return CommunicationBound(dependent, independent)
+
+
+def caps_bandwidth_bound(n: float, p: float, m: float) -> float:
+    """Eq. 8 with the Strassen exponent — CAPS's attained bound."""
+    return communication_bound_words(n, p, m, OMEGA_STRASSEN).words
+
+
+def classical_bandwidth_bound(n: float, p: float, m: float) -> float:
+    """The classical-algorithm analogue (omega0 = 3) for comparison —
+    why "the total communication required... is less than classic
+    approaches"."""
+    return communication_bound_words(n, p, m, OMEGA_CLASSICAL).words
+
+
+def bound_crossover_memory(n: float, p: float, omega0: float = OMEGA_STRASSEN) -> float:
+    """Local-memory size M at which Eq. 8's two terms are equal.
+
+    Below this M the memory-dependent term binds (communication shrinks
+    as memory grows — CAPS's extra BFS buffers are exactly this trade);
+    above it, more memory buys nothing.
+    """
+    require_positive(n, "n")
+    require_positive(p, "p")
+    # Solve n^w / (P M^(w/2-1)) = n^2 / P^(2/w)  for M.
+    exponent = omega0 / 2.0 - 1.0
+    rhs = (n ** (omega0 - 2.0)) * (p ** (2.0 / omega0 - 1.0))
+    return rhs ** (1.0 / exponent)

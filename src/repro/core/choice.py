@@ -1,0 +1,165 @@
+"""Algorithmic choice under power constraints — the paper's motivation
+made executable.
+
+The introduction promises "the ability to make algorithmic tradeoffs
+based upon the desired performance weighed alongside the total power
+utilization", so that "system architects, facilities managers and users
+[can] construct and maintain scalable applications on architectures
+within the limits of the respective facilities" (§I).  This module
+implements that decision layer on top of a finished study:
+
+* :func:`pareto_frontier` — the configurations (algorithm, threads) not
+  dominated in the (runtime, average-watts) plane;
+* :func:`select_under_power_cap` — the fastest configuration whose peak
+  (or average) power stays inside a facility limit;
+* :func:`energy_delay_product` / :func:`energy_to_solution` — the
+  complementary single-number metrics practitioners rank by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from ..power.planes import Plane
+from ..util.errors import ValidationError
+from ..util.validation import require_positive
+from .study import StudyResult
+
+__all__ = [
+    "Configuration",
+    "configurations",
+    "pareto_frontier",
+    "select_under_power_cap",
+    "energy_to_solution",
+    "energy_delay_product",
+    "choice_table",
+]
+
+PowerMetric = Literal["avg", "peak"]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One candidate operating point for a fixed problem size."""
+
+    algorithm: str
+    threads: int
+    time_s: float
+    avg_power_w: float
+    peak_power_w: float
+    energy_j: float
+
+    def power(self, metric: PowerMetric) -> float:
+        if metric == "avg":
+            return self.avg_power_w
+        if metric == "peak":
+            return self.peak_power_w
+        raise ValidationError(f"unknown power metric {metric!r}")
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J*s), lower is better."""
+        return self.energy_j * self.time_s
+
+    def dominates(self, other: "Configuration") -> bool:
+        """Pareto dominance in (time, avg power): at least as good in
+        both, strictly better in one."""
+        better_or_equal = (
+            self.time_s <= other.time_s and self.avg_power_w <= other.avg_power_w
+        )
+        strictly = (
+            self.time_s < other.time_s or self.avg_power_w < other.avg_power_w
+        )
+        return better_or_equal and strictly
+
+
+def configurations(study: StudyResult, n: int) -> list[Configuration]:
+    """Every (algorithm, threads) operating point of the study at size
+    *n*, as :class:`Configuration` objects."""
+    out = []
+    for alg in study.algorithm_names:
+        for p in study.config.threads:
+            meas = study.measurement(alg, n, p)
+            out.append(
+                Configuration(
+                    algorithm=alg,
+                    threads=p,
+                    time_s=meas.elapsed_s,
+                    avg_power_w=meas.avg_power_w(study.config.plane),
+                    peak_power_w=meas.peak_power_w(study.config.plane),
+                    energy_j=meas.energy_j(study.config.plane),
+                )
+            )
+    return out
+
+
+def pareto_frontier(study: StudyResult, n: int) -> list[Configuration]:
+    """Non-dominated configurations in the (runtime, watts) plane,
+    sorted fastest-first."""
+    candidates = configurations(study, n)
+    frontier = [
+        c
+        for c in candidates
+        if not any(other.dominates(c) for other in candidates)
+    ]
+    return sorted(frontier, key=lambda c: (c.time_s, c.avg_power_w))
+
+
+def select_under_power_cap(
+    study: StudyResult,
+    n: int,
+    power_cap_w: float,
+    metric: PowerMetric = "peak",
+) -> Configuration | None:
+    """The fastest configuration whose *metric* power fits the cap.
+
+    Returns ``None`` when nothing fits — the facility cannot run this
+    problem at all.  This is the paper's "parallel systems whose peak
+    power is relatively limited by the local facilities" scenario
+    (§VI-D): under a tight cap the blocked DGEMM's peak parallelism is
+    unreachable and a Strassen-family point wins.
+    """
+    require_positive(power_cap_w, "power_cap_w")
+    feasible = [
+        c for c in configurations(study, n) if c.power(metric) <= power_cap_w
+    ]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda c: (c.time_s, c.power(metric)))
+
+
+def energy_to_solution(study: StudyResult, n: int) -> dict[tuple[str, int], float]:
+    """Joules to complete the problem, per (algorithm, threads)."""
+    return {
+        (c.algorithm, c.threads): c.energy_j for c in configurations(study, n)
+    }
+
+
+def energy_delay_product(study: StudyResult, n: int) -> dict[tuple[str, int], float]:
+    """EDP per (algorithm, threads), the power-aware ranking metric."""
+    return {(c.algorithm, c.threads): c.edp for c in configurations(study, n)}
+
+
+def choice_table(study: StudyResult, n: int):
+    """All operating points with their decision metrics, as a
+    :class:`~repro.util.tables.TextTable` (fastest first)."""
+    from ..util.tables import TextTable
+
+    frontier = {(c.algorithm, c.threads) for c in pareto_frontier(study, n)}
+    table = TextTable(
+        ["algorithm", "threads", "time (s)", "avg W", "peak W", "J", "EDP", "pareto"],
+        ndigits=4,
+    )
+    for c in sorted(configurations(study, n), key=lambda c: c.time_s):
+        table.add_row(
+            study.display_names.get(c.algorithm, c.algorithm),
+            c.threads,
+            c.time_s,
+            c.avg_power_w,
+            c.peak_power_w,
+            c.energy_j,
+            c.edp,
+            "*" if (c.algorithm, c.threads) in frontier else "",
+        )
+    return table

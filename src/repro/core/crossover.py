@@ -1,0 +1,74 @@
+"""The Strassen/blocked crossover point — the paper's Equation 9 (§IV-D).
+
+"There exists a crossover point on a target platform where the
+Strassen-derived techniques provide better performance... described for
+a target platform using its peak computational performance and its
+ability to move data":
+
+    15 * 32 * (n/2)^3 bytes     2 * (n/2)^2 flop
+    -----------------------  =  -----------------     =>   n = 480 * y / z
+        z  MB/s                     y  Mflop/s
+
+with ``y`` the basic-multiply rate in Mflop/s and ``z`` the platform's
+data-movement rate in MB/s.  The paper evaluates this for its test
+platform and concludes it "was unable to execute problems large enough
+to realize the crossover point" — a prediction §VI-B's measurements
+confirm and our benchmark reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.specs import MachineSpec
+from ..util.validation import require_positive
+
+__all__ = ["crossover_dimension", "CrossoverAnalysis", "analyze_crossover"]
+
+
+def crossover_dimension(y_mflops: float, z_mbs: float) -> float:
+    """Eq. 9: ``n = 480 * y / z``."""
+    require_positive(y_mflops, "y_mflops")
+    require_positive(z_mbs, "z_mbs")
+    return 480.0 * y_mflops / z_mbs
+
+
+@dataclass(frozen=True)
+class CrossoverAnalysis:
+    """Eq. 9 evaluated for one platform."""
+
+    y_mflops: float
+    z_mbs: float
+    crossover_n: float
+    max_feasible_n: int
+
+    @property
+    def reachable(self) -> bool:
+        """Can the platform hold a problem at the crossover size?
+
+        The paper's platform cannot (high compute-to-memory ratio, low
+        capacity), which is why its evaluation never sees Strassen win
+        outright.
+        """
+        return self.crossover_n <= self.max_feasible_n
+
+
+def analyze_crossover(
+    machine: MachineSpec,
+    efficiency: float = 0.92,
+    buffer_factor: float = 8.0,
+) -> CrossoverAnalysis:
+    """Apply Eq. 9 to a machine spec.
+
+    ``y`` is the achieved multiply rate (peak x *efficiency*); ``z`` the
+    sustained DRAM bandwidth.  ``max_feasible_n`` is the largest square
+    problem whose operands-plus-temporaries (*buffer_factor* n^2 doubles,
+    accounting for the Strassen-family intermediate buffers) fit in
+    memory.
+    """
+    require_positive(buffer_factor, "buffer_factor")
+    y = machine.machine_peak_flops * efficiency / 1e6  # Mflop/s
+    z = machine.dram_bandwidth / 1e6  # MB/s
+    n_cross = crossover_dimension(y, z)
+    max_n = int((machine.dram.capacity_bytes / (buffer_factor * 8.0)) ** 0.5)
+    return CrossoverAnalysis(y, z, n_cross, max_n)

@@ -1,0 +1,162 @@
+"""Builders for the paper's tables and figure series (§VI).
+
+Every table/figure of the evaluation has one builder here, returning
+either a :class:`~repro.util.tables.TextTable` laid out like the paper's
+or a plain ``{series_name: [(x, y), ...]}`` mapping the ASCII renderer
+in :mod:`repro.reporting` (and the benchmarks) consume.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..util.tables import TextTable
+from .scaling import linear_threshold
+from .study import StudyResult
+
+__all__ = [
+    "table1_environment",
+    "table2_slowdown",
+    "table3_power",
+    "table4_ep",
+    "fig3_slowdown_series",
+    "fig456_power_series",
+    "fig7_scaling_series",
+]
+
+
+def table1_environment(machine) -> TextTable:
+    """Table I analogue: the software/hardware infrastructure.
+
+    The paper's Table I lists its stack (OpenSUSE, PAPI, GCC, BOTS,
+    OpenBLAS with their configurations); our substitutions are the
+    simulated components, so the table lists those with *their*
+    configurations — the honest equivalent for a simulator-based
+    reproduction.
+    """
+    from ..util.units import fmt_bytes, fmt_hz
+
+    table = TextTable(["Component", "Implementation", "Configuration"])
+    table.add_row(
+        "Platform", machine.name,
+        f"{machine.cores} cores @ {fmt_hz(machine.frequency.frequency_hz)}",
+    )
+    table.add_row(
+        "Caches", "repro.machine.cache",
+        " / ".join(
+            f"{lv.name} {fmt_bytes(lv.capacity_bytes)}" for lv in machine.caches
+        ),
+    )
+    table.add_row(
+        "Memory", "repro.machine.dram",
+        f"{machine.dram.channels} ch x "
+        f"{machine.dram.bandwidth_per_channel_bytes_per_s / 1e9:.1f} GB/s, "
+        f"{fmt_bytes(machine.dram.capacity_bytes)}",
+    )
+    table.add_row(
+        "Runtime", "repro.runtime (OpenMP-like)",
+        "untied tasks, work sharing, DES scheduler",
+    )
+    table.add_row(
+        "Power measurement", "repro.power (PAPI/RAPL emulation)",
+        "planes: PACKAGE, PP0, DRAM",
+    )
+    table.add_row(
+        "Energy model", "repro.machine.energy",
+        f"static {machine.energy.package_static_w:.1f} W, "
+        f"{machine.energy.j_per_flop * 1e12:.0f} pJ/flop",
+    )
+    return table
+
+
+def table2_slowdown(study: StudyResult) -> TextTable:
+    """Table II: average Strassen/CAPS slowdown vs the baseline, per
+    problem size, plus the overall average."""
+    sizes = list(study.config.sizes)
+    table = TextTable(["Avg Slowdown", *[str(n) for n in sizes], "Average"])
+    for alg in study.algorithm_names:
+        if alg == study.config.baseline:
+            continue
+        by_size = study.avg_slowdown_by_size(alg)
+        table.add_row(
+            study.display_names[alg],
+            *[by_size[n] for n in sizes],
+            study.avg_slowdown(alg),
+        )
+    return table
+
+
+def table3_power(study: StudyResult) -> TextTable:
+    """Table III: average watts per thread count, plus the overall
+    average, for every algorithm."""
+    threads = list(study.config.threads)
+    table = TextTable(["Num Threads", *[str(p) for p in threads], "Average"])
+    for alg in study.algorithm_names:
+        by_threads = study.avg_power_by_threads(alg)
+        table.add_row(
+            study.display_names[alg],
+            *[by_threads[p] for p in threads],
+            study.avg_power(alg),
+        )
+    return table
+
+
+def table4_ep(study: StudyResult) -> TextTable:
+    """Table IV: average energy performance per problem size, plus the
+    overall average, for every algorithm."""
+    sizes = list(study.config.sizes)
+    table = TextTable(["Algorithm", *[str(n) for n in sizes], "Average"], ndigits=4)
+    for alg in study.algorithm_names:
+        by_size = study.avg_ep_by_size(alg)
+        table.add_row(
+            study.display_names[alg],
+            *[by_size[n] for n in sizes],
+            study.avg_ep(alg),
+        )
+    return table
+
+
+def fig3_slowdown_series(study: StudyResult) -> dict[str, list[tuple[float, float]]]:
+    """Fig. 3: slowdown vs baseline across the matrix.
+
+    One series per (non-baseline algorithm, size): x = thread count,
+    y = slowdown.
+    """
+    series: dict[str, list[tuple[float, float]]] = {}
+    for alg in study.algorithm_names:
+        if alg == study.config.baseline:
+            continue
+        for n in study.config.sizes:
+            key = f"{study.display_names[alg]} n={n}"
+            series[key] = [
+                (float(p), study.slowdown(alg, n, p)) for p in study.config.threads
+            ]
+    return series
+
+
+def fig456_power_series(
+    study: StudyResult, alg: str
+) -> dict[str, list[tuple[float, float]]]:
+    """Figs. 4/5/6: average watts vs thread count, one series per size,
+    for one algorithm (OpenBLAS -> Fig. 4, Strassen -> 5, CAPS -> 6)."""
+    return {
+        f"n={n}": [(float(p), w) for p, w in study.power_curve(alg, n)]
+        for n in study.config.sizes
+    }
+
+
+def fig7_scaling_series(study: StudyResult) -> dict[str, list[tuple[float, float]]]:
+    """Fig. 7: EP scaling S vs threads, one series per (algorithm, size),
+    plus the linear threshold line."""
+    series: dict[str, list[tuple[float, float]]] = {
+        "linear threshold": [
+            (float(p), linear_threshold(p)) for p in sorted(study.config.threads)
+        ]
+    }
+    for alg in study.algorithm_names:
+        for n in study.config.sizes:
+            pts = study.scaling_curve(alg, n)
+            series[f"{study.display_names[alg]} n={n}"] = [
+                (float(pt.parallelism), pt.s) for pt in pts
+            ]
+    return series

@@ -1,0 +1,108 @@
+"""Energy-performance *scaling* — the paper's Equations 5-6 and Fig. 1.
+
+Eq. 5: ``S = EP_p / EP_1`` — the EP ratio at P parallel units relative
+to the single-unit run ("the classic equation for scaling").  Under the
+paper's power convention this expands to::
+
+    S = (W_p / T_p) / (W_1 / T_1) = (W_p / W_1) * (T_1 / T_p)
+      = power-ratio * speedup
+
+The **linear threshold** at P units is ``S = P``: power growing no
+faster than the performance speedup keeps ``S`` at or below the line
+(Fig. 1's "ideal" region); a run whose "system power must scale at a
+higher rate than the respective performance scaling" lands above it
+("superlinear").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from ..util.errors import ValidationError
+from ..util.validation import require_positive
+
+__all__ = [
+    "ScalingClass",
+    "ep_scaling",
+    "linear_threshold",
+    "classify_scaling",
+    "ScalingPoint",
+    "scaling_series",
+]
+
+
+class ScalingClass(Enum):
+    """Position of an EP-scaling point relative to the linear threshold."""
+
+    IDEAL = "ideal"            # S < threshold: power grows slower than speedup
+    LINEAR = "linear"          # S == threshold (within tolerance)
+    SUPERLINEAR = "superlinear"  # S > threshold: power outpaces speedup
+
+
+def ep_scaling(ep_p: float, ep_1: float) -> float:
+    """Eq. 5: ``S = EP_p / EP_1``."""
+    require_positive(ep_1, "ep_1")
+    if ep_p < 0:
+        raise ValidationError(f"ep_p must be >= 0, got {ep_p}")
+    return ep_p / ep_1
+
+
+def linear_threshold(parallelism: int) -> float:
+    """The linear-scaling line of Fig. 1 at *parallelism* units."""
+    require_positive(parallelism, "parallelism")
+    return float(parallelism)
+
+
+def classify_scaling(
+    s: float, parallelism: int, rel_tolerance: float = 0.05
+) -> ScalingClass:
+    """Classify an EP-scaling value against the linear threshold.
+
+    *rel_tolerance* widens the LINEAR band; the paper's qualitative
+    reading ("ideal or nearly ideal") motivates a tolerant band.
+    """
+    threshold = linear_threshold(parallelism)
+    if s > threshold * (1 + rel_tolerance):
+        return ScalingClass.SUPERLINEAR
+    if s < threshold * (1 - rel_tolerance):
+        return ScalingClass.IDEAL
+    return ScalingClass.LINEAR
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of an EP-scaling curve (Fig. 7)."""
+
+    parallelism: int
+    s: float
+    scaling_class: ScalingClass
+
+    @property
+    def distance_to_linear(self) -> float:
+        """Signed distance above (+) / below (-) the linear threshold,
+        normalised by the threshold.  The paper's "slightly closer to
+        the linear scale" comparisons use ``abs()`` of this."""
+        threshold = linear_threshold(self.parallelism)
+        return (self.s - threshold) / threshold
+
+
+def scaling_series(
+    ep_values: Sequence[float], parallelisms: Sequence[int]
+) -> list[ScalingPoint]:
+    """Build the EP-scaling curve for a sweep over parallelism degrees.
+
+    ``ep_values[i]`` is the EP ratio at ``parallelisms[i]``; the first
+    entry must be the single-unit baseline (EP_1, parallelism 1).
+    """
+    if len(ep_values) != len(parallelisms):
+        raise ValidationError("ep_values and parallelisms must align")
+    if not parallelisms or parallelisms[0] != 1:
+        raise ValidationError("the series must start at parallelism 1 (EP_1)")
+    ep1 = ep_values[0]
+    points = []
+    for ep, p in zip(ep_values, parallelisms):
+        s = ep_scaling(ep, ep1)
+        points.append(ScalingPoint(p, s, classify_scaling(s, p)))
+    return points

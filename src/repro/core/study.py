@@ -1,0 +1,263 @@
+"""The paper's execution matrix (§VI-A) as a reusable study driver.
+
+"Our execution matrix includes all three algorithmic approaches using
+randomly generated matrices of sizes {512, 1024, 2048, 4096}.  Each
+algorithm is executed for each problem size using thread counts
+{1, 2, 3, 4}.  This provides us with 48 final result sets."
+
+:class:`EnergyPerformanceStudy` reproduces exactly that: for every
+(algorithm, size, threads) triple it builds the task graph, simulates it
+on the machine, records the :class:`RunMeasurement`, and optionally
+verifies the numerics against numpy.  :class:`StudyResult` then exposes
+the derived quantities the evaluation tabulates — slowdowns (Table II /
+Fig. 3), average power (Table III / Figs. 4-6) and EP values/scaling
+(Table IV / Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..algorithms.base import MatmulAlgorithm
+from ..algorithms.registry import paper_algorithms
+from ..machine.specs import MachineSpec
+from ..power.planes import Plane
+from ..sim.engine import Engine
+from ..sim.measurement import RunMeasurement
+from ..util.errors import ConfigurationError, ValidationError
+from ..util.validation import require_nonempty, require_positive
+from .ep import EPConvention, EPMeasurement
+from .scaling import ScalingPoint, scaling_series
+
+__all__ = ["StudyConfig", "StudyResult", "EnergyPerformanceStudy", "PAPER_SIZES", "PAPER_THREADS"]
+
+#: The paper's problem sizes and thread counts.
+PAPER_SIZES: tuple[int, ...] = (512, 1024, 2048, 4096)
+PAPER_THREADS: tuple[int, ...] = (1, 2, 3, 4)
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Knobs of one study run.
+
+    Attributes
+    ----------
+    sizes / threads:
+        The execution matrix (defaults: the paper's).
+    seed:
+        Operand RNG seed (same operands for every algorithm).
+    execute_max_n:
+        Real numpy numerics (and verification) run for sizes up to this
+        bound; larger sizes simulate cost-only.  The simulated timings
+        and energies are identical either way.
+    verify:
+        Check executed results against numpy within stability bounds.
+    baseline:
+        Algorithm name the slowdown tables normalise against.
+    plane / convention:
+        EP definition (paper: PACKAGE plane, power convention).
+    """
+
+    sizes: tuple[int, ...] = PAPER_SIZES
+    threads: tuple[int, ...] = PAPER_THREADS
+    seed: int = 2015
+    execute_max_n: int = 1024
+    verify: bool = True
+    baseline: str = "openblas"
+    plane: Plane = Plane.PACKAGE
+    convention: EPConvention = "power"
+
+    def __post_init__(self) -> None:
+        require_nonempty(self.sizes, "sizes")
+        require_nonempty(self.threads, "threads")
+        for n in self.sizes:
+            require_positive(n, "size")
+        for p in self.threads:
+            require_positive(p, "threads")
+
+
+@dataclass
+class StudyResult:
+    """All measurements of one study plus the paper's derived metrics."""
+
+    machine: MachineSpec
+    config: StudyConfig
+    algorithm_names: list[str]
+    display_names: dict[str, str]
+    runs: dict[tuple[str, int, int], RunMeasurement] = field(default_factory=dict)
+
+    # ---- raw accessors -------------------------------------------------
+
+    def measurement(self, alg: str, n: int, threads: int) -> RunMeasurement:
+        key = (alg, n, threads)
+        if key not in self.runs:
+            raise ValidationError(f"no run recorded for {key}")
+        return self.runs[key]
+
+    def time_s(self, alg: str, n: int, threads: int) -> float:
+        return self.measurement(alg, n, threads).elapsed_s
+
+    def power_w(
+        self, alg: str, n: int, threads: int, plane: Plane | None = None
+    ) -> float:
+        """Average watts on *plane* (default: the study's plane, the
+        paper's PACKAGE; pass ``Plane.PP0`` for the cores-only plane the
+        paper also records)."""
+        return self.measurement(alg, n, threads).avg_power_w(
+            plane or self.config.plane
+        )
+
+    def pp0_fraction(self, alg: str, n: int, threads: int) -> float:
+        """Share of package power drawn by the cores (PP0/PACKAGE) —
+        high for compute-dense kernels, lower for bandwidth-bound ones
+        whose uncore does the work."""
+        meas = self.measurement(alg, n, threads)
+        return meas.avg_power_w(Plane.PP0) / meas.avg_power_w(Plane.PACKAGE)
+
+    def ep(self, alg: str, n: int, threads: int) -> float:
+        """Eq. 1 under the study's convention."""
+        return EPMeasurement(
+            self.measurement(alg, n, threads),
+            self.config.plane,
+            self.config.convention,
+        ).ep
+
+    # ---- Table II / Fig. 3: slowdown ------------------------------------
+
+    def slowdown(self, alg: str, n: int, threads: int) -> float:
+        """T_alg / T_baseline at the same (n, threads)."""
+        base = self.time_s(self.config.baseline, n, threads)
+        return self.time_s(alg, n, threads) / base
+
+    def avg_slowdown_by_size(self, alg: str) -> dict[int, float]:
+        """Table II rows: mean over thread counts, per size."""
+        return {
+            n: sum(self.slowdown(alg, n, p) for p in self.config.threads)
+            / len(self.config.threads)
+            for n in self.config.sizes
+        }
+
+    def avg_slowdown(self, alg: str) -> float:
+        """Table II 'Average' column: mean over all sizes and threads."""
+        by_size = self.avg_slowdown_by_size(alg)
+        return sum(by_size.values()) / len(by_size)
+
+    # ---- Table III / Figs. 4-6: power ------------------------------------
+
+    def avg_power_by_threads(self, alg: str) -> dict[int, float]:
+        """Table III rows: mean watts over sizes, per thread count."""
+        return {
+            p: sum(self.power_w(alg, n, p) for n in self.config.sizes)
+            / len(self.config.sizes)
+            for p in self.config.threads
+        }
+
+    def avg_power(self, alg: str) -> float:
+        """Table III 'Average' column."""
+        by_threads = self.avg_power_by_threads(alg)
+        return sum(by_threads.values()) / len(by_threads)
+
+    def power_curve(self, alg: str, n: int) -> list[tuple[int, float]]:
+        """Figs. 4-6: watts vs threads for one size."""
+        return [(p, self.power_w(alg, n, p)) for p in self.config.threads]
+
+    def peak_power_w(self, alg: str) -> float:
+        """Highest instantaneous watts over the whole matrix."""
+        return max(
+            self.measurement(alg, n, p).peak_power_w(self.config.plane)
+            for n in self.config.sizes
+            for p in self.config.threads
+        )
+
+    def min_power_w(self, alg: str) -> float:
+        """Lowest per-run average watts over the matrix."""
+        return min(
+            self.power_w(alg, n, p)
+            for n in self.config.sizes
+            for p in self.config.threads
+        )
+
+    # ---- Table IV / Fig. 7: energy performance ----------------------------
+
+    def avg_ep_by_size(self, alg: str) -> dict[int, float]:
+        """Table IV rows: mean EP over threads, per size."""
+        return {
+            n: sum(self.ep(alg, n, p) for p in self.config.threads)
+            / len(self.config.threads)
+            for n in self.config.sizes
+        }
+
+    def avg_ep(self, alg: str) -> float:
+        """Table IV 'Average' column."""
+        by_size = self.avg_ep_by_size(alg)
+        return sum(by_size.values()) / len(by_size)
+
+    def scaling_curve(self, alg: str, n: int) -> list[ScalingPoint]:
+        """Fig. 7: Eq. 5's S over the thread sweep for one size."""
+        threads = sorted(self.config.threads)
+        if threads[0] != 1:
+            raise ValidationError("scaling curves need a 1-thread baseline run")
+        eps = [self.ep(alg, n, p) for p in threads]
+        return scaling_series(eps, threads)
+
+    def speedup(self, alg: str, n: int, threads: int) -> float:
+        """Conventional speedup T_1 / T_p (same algorithm)."""
+        return self.time_s(alg, n, 1) / self.time_s(alg, n, threads)
+
+
+class EnergyPerformanceStudy:
+    """Runs the execution matrix and assembles a :class:`StudyResult`."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        algorithms: Sequence[MatmulAlgorithm] | None = None,
+        config: StudyConfig = StudyConfig(),
+        engine: Engine | None = None,
+    ):
+        self.machine = machine
+        self.algorithms = list(algorithms) if algorithms is not None else paper_algorithms(machine)
+        if not self.algorithms:
+            raise ConfigurationError("study needs at least one algorithm")
+        names = [a.name for a in self.algorithms]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate algorithm names: {names}")
+        if config.baseline not in names:
+            raise ConfigurationError(
+                f"baseline {config.baseline!r} is not among {names}"
+            )
+        self.config = config
+        self.engine = engine or Engine(machine)
+
+    def run(self) -> StudyResult:
+        """Execute the full matrix."""
+        result = StudyResult(
+            machine=self.machine,
+            config=self.config,
+            algorithm_names=[a.name for a in self.algorithms],
+            display_names={a.name: a.display_name for a in self.algorithms},
+        )
+        for alg in self.algorithms:
+            for n in self.config.sizes:
+                for p in self.config.threads:
+                    result.runs[(alg.name, n, p)] = self._run_one(alg, n, p)
+        return result
+
+    def _run_one(self, alg: MatmulAlgorithm, n: int, threads: int) -> RunMeasurement:
+        execute = n <= self.config.execute_max_n
+        build = alg.build(n, threads, seed=self.config.seed, execute=execute)
+        measurement = self.engine.run(
+            build.graph,
+            threads,
+            execute=execute,
+            label=f"{alg.name}[n={n},p={threads}]",
+        )
+        if execute and self.config.verify:
+            report = build.verify()
+            if not report.ok:
+                raise ValidationError(
+                    f"{alg.display_name} n={n} p={threads}: numerical error "
+                    f"{report.abs_error:.3e} exceeds bound {report.bound:.3e}"
+                )
+        return measurement

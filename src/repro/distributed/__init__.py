@@ -1,0 +1,39 @@
+"""Distributed-memory extension (paper §VIII): MPI-style communication
+cost models, interconnect power plane, and the distributed EP study
+comparing CAPS against SUMMA/2.5D baselines."""
+
+from .bsp import BspResult, BspSimulator, Superstep, caps_program, summa_program
+from .comm import CommCost, allgather, alltoall, broadcast, point_to_point, reduce
+from .dmatmul import (
+    CapsDistributed,
+    DistributedMatmul,
+    RankProfile,
+    Summa25D,
+    Summa2D,
+)
+from .network import ClusterSpec, InterconnectSpec
+from .study import DistributedEPStudy, DistributedRun, DistributedStudyResult
+
+__all__ = [
+    "BspResult",
+    "BspSimulator",
+    "CapsDistributed",
+    "ClusterSpec",
+    "CommCost",
+    "DistributedEPStudy",
+    "DistributedMatmul",
+    "DistributedRun",
+    "DistributedStudyResult",
+    "InterconnectSpec",
+    "RankProfile",
+    "Summa25D",
+    "Summa2D",
+    "Superstep",
+    "allgather",
+    "alltoall",
+    "broadcast",
+    "caps_program",
+    "point_to_point",
+    "reduce",
+    "summa_program",
+]

@@ -1,0 +1,90 @@
+"""MPI-style collective cost models over the alpha-beta interconnect.
+
+The distributed EP study needs per-rank communication *time* and
+*energy* for the handful of collectives the matmul algorithms use.
+Costs follow the standard tree/ring formulations (Thakur et al.);
+energies charge the interconnect plane for every byte that crosses a
+link at this rank.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..util.errors import ValidationError
+from ..util.validation import require_nonnegative, require_positive
+from .network import InterconnectSpec
+
+__all__ = ["CommCost", "point_to_point", "broadcast", "reduce", "allgather", "alltoall"]
+
+
+@dataclass(frozen=True)
+class CommCost:
+    """Per-rank cost of one communication operation."""
+
+    time_s: float
+    link_bytes: float  # bytes this rank pushes/pulls across its link
+
+    def energy_j(self, net: InterconnectSpec) -> float:
+        """Dynamic interconnect joules attributable to this rank."""
+        return net.transfer_energy_j(self.link_bytes)
+
+    def __add__(self, other: "CommCost") -> "CommCost":
+        return CommCost(self.time_s + other.time_s, self.link_bytes + other.link_bytes)
+
+    @staticmethod
+    def zero() -> "CommCost":
+        return CommCost(0.0, 0.0)
+
+
+def _check(nbytes: float, ranks: int) -> None:
+    require_nonnegative(nbytes, "nbytes")
+    require_positive(ranks, "ranks")
+
+
+def point_to_point(net: InterconnectSpec, nbytes: float) -> CommCost:
+    """One send/recv pair."""
+    require_nonnegative(nbytes, "nbytes")
+    return CommCost(net.transfer_time_s(nbytes), nbytes)
+
+
+def broadcast(net: InterconnectSpec, nbytes: float, ranks: int) -> CommCost:
+    """Binomial-tree broadcast: ceil(log2 P) rounds of the full payload."""
+    _check(nbytes, ranks)
+    if ranks == 1:
+        return CommCost.zero()
+    rounds = math.ceil(math.log2(ranks))
+    return CommCost(
+        rounds * net.transfer_time_s(nbytes),
+        rounds * nbytes,
+    )
+
+
+def reduce(net: InterconnectSpec, nbytes: float, ranks: int) -> CommCost:
+    """Binomial-tree reduction (same wire cost as broadcast)."""
+    return broadcast(net, nbytes, ranks)
+
+
+def allgather(net: InterconnectSpec, nbytes_per_rank: float, ranks: int) -> CommCost:
+    """Ring allgather: P-1 rounds of one rank's contribution."""
+    _check(nbytes_per_rank, ranks)
+    if ranks == 1:
+        return CommCost.zero()
+    rounds = ranks - 1
+    return CommCost(
+        rounds * net.transfer_time_s(nbytes_per_rank),
+        rounds * nbytes_per_rank,
+    )
+
+
+def alltoall(net: InterconnectSpec, nbytes_per_pair: float, ranks: int) -> CommCost:
+    """Pairwise-exchange all-to-all: P-1 rounds, one block per round."""
+    _check(nbytes_per_pair, ranks)
+    if ranks == 1:
+        return CommCost.zero()
+    rounds = ranks - 1
+    return CommCost(
+        rounds * net.transfer_time_s(nbytes_per_pair),
+        rounds * nbytes_per_pair,
+    )

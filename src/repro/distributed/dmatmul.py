@@ -1,0 +1,212 @@
+"""Distributed-memory matmul models (§VIII extension).
+
+Per-rank analytic phase models for three distributed algorithms:
+
+* :class:`Summa2D` — the classical 2-D SUMMA: ``2 n^3 / P`` flops and
+  ``O(n^2 / sqrt(P))`` words moved per rank;
+* :class:`Summa25D` — the 2.5D variant (Solomonik & Demmel [16]): ``c``
+  replicas trade memory for a ``sqrt(c)`` communication reduction;
+* :class:`CapsDistributed` — CAPS at its Eq. 8 communication bound with
+  Strassen's flop count.
+
+Each model yields a :class:`RankProfile` (compute seconds, DRAM bytes,
+interconnect bytes/messages per rank) that the distributed EP study
+turns into per-plane energies and Eq. 4 totals.  These are *models*,
+not simulations — the right fidelity for the paper's forward-looking
+"build a multifaceted model of the algorithmic energy performance
+scaling characteristics" (§VIII).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..core.bounds import OMEGA_STRASSEN, communication_bound_words
+from ..util.errors import ConfigurationError
+from ..util.validation import require_positive
+from .comm import CommCost
+from .network import ClusterSpec
+
+__all__ = ["RankProfile", "DistributedMatmul", "Summa2D", "Summa25D", "CapsDistributed"]
+
+_WORD = 8
+
+
+@dataclass(frozen=True)
+class RankProfile:
+    """Per-rank resource profile of one distributed run."""
+
+    flops: float
+    compute_time_s: float
+    dram_bytes: float
+    comm: CommCost
+
+    @property
+    def time_s(self) -> float:
+        """Rank wall time: compute plus (non-overlapped) communication."""
+        return self.compute_time_s + self.comm.time_s
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of rank time spent communicating."""
+        return self.comm.time_s / self.time_s if self.time_s > 0 else 0.0
+
+
+class DistributedMatmul(ABC):
+    """Base class of the distributed algorithm models."""
+
+    name: str = "abstract"
+    display_name: str = "Abstract"
+
+    def __init__(self, cluster: ClusterSpec, efficiency: float = 0.90):
+        self.cluster = cluster
+        self.efficiency = efficiency
+
+    def _compute_time(self, flops: float) -> float:
+        """Local compute time at the node's achieved flop rate."""
+        rate = self.cluster.node.machine_peak_flops * self.efficiency
+        return flops / rate
+
+    def _local_dram_bytes(self, flops: float) -> float:
+        """Local memory traffic of the node-level blocked kernel."""
+        from ..algorithms.traffic import block_factor
+
+        b3 = block_factor(self.cluster.node.caches.last_level_capacity)
+        return flops * _WORD / b3
+
+    @abstractmethod
+    def rank_profile(self, n: int, nodes: int) -> RankProfile:
+        """Per-rank profile for an ``n x n`` multiply on *nodes* ranks."""
+
+    def memory_words_per_rank(self, n: int, nodes: int) -> float:
+        """Resident words per rank (operands' share)."""
+        return 3.0 * float(n) ** 2 / nodes
+
+    def check_feasible(self, n: int, nodes: int) -> None:
+        """Refuse configurations whose per-rank footprint exceeds node
+        memory (the distributed version of the paper's 4096 ceiling)."""
+        need = self.memory_words_per_rank(n, nodes) * _WORD
+        have = self.cluster.node.dram.capacity_bytes
+        if need > have:
+            raise ConfigurationError(
+                f"{self.display_name}: n={n} on {nodes} nodes needs "
+                f"{need / 2**30:.2f} GiB/rank, node has {have / 2**30:.2f} GiB"
+            )
+
+
+class Summa2D(DistributedMatmul):
+    """Classical 2-D SUMMA on a sqrt(P) x sqrt(P) grid."""
+
+    name = "summa"
+    display_name = "SUMMA 2D"
+
+    def rank_profile(self, n: int, nodes: int) -> RankProfile:
+        require_positive(n, "n")
+        self.cluster.validate_nodes(nodes)
+        self.check_feasible(n, nodes)
+        flops = 2.0 * float(n) ** 3 / nodes
+        grid = math.sqrt(nodes)
+        words = 2.0 * float(n) ** 2 / grid  # A and B panels broadcast
+        nbytes = words * _WORD
+        messages = max(1, int(2 * grid))
+        net = self.cluster.interconnect
+        comm = CommCost(net.transfer_time_s(nbytes, messages), nbytes)
+        return RankProfile(
+            flops=flops,
+            compute_time_s=self._compute_time(flops),
+            dram_bytes=self._local_dram_bytes(flops) + nbytes,
+            comm=comm,
+        )
+
+
+class Summa25D(DistributedMatmul):
+    """2.5D matmul: *c* replicas cut communication by sqrt(c)."""
+
+    name = "summa25d"
+    display_name = "SUMMA 2.5D"
+
+    def __init__(self, cluster: ClusterSpec, c: int = 2, efficiency: float = 0.90):
+        super().__init__(cluster, efficiency)
+        require_positive(c, "c")
+        self.c = c
+
+    def effective_c(self, nodes: int) -> int:
+        """Replication actually usable on *nodes* ranks: the largest
+        divisor of the node count not exceeding the requested c."""
+        require_positive(nodes, "nodes")
+        return max(d for d in range(1, min(self.c, nodes) + 1) if nodes % d == 0)
+
+    def memory_words_per_rank(self, n: int, nodes: int) -> float:
+        return self.effective_c(nodes) * 3.0 * float(n) ** 2 / nodes
+
+    def rank_profile(self, n: int, nodes: int) -> RankProfile:
+        require_positive(n, "n")
+        self.cluster.validate_nodes(nodes)
+        c = self.effective_c(nodes)
+        self.check_feasible(n, nodes)
+        flops = 2.0 * float(n) ** 3 / nodes
+        words = 2.0 * float(n) ** 2 / math.sqrt(c * nodes)
+        nbytes = words * _WORD
+        messages = max(1, int(2 * math.sqrt(max(1.0, nodes / c**3))) + int(math.log2(c) + 1))
+        net = self.cluster.interconnect
+        comm = CommCost(net.transfer_time_s(nbytes, messages), nbytes)
+        return RankProfile(
+            flops=flops,
+            compute_time_s=self._compute_time(flops),
+            dram_bytes=self._local_dram_bytes(flops) + nbytes,
+            comm=comm,
+        )
+
+
+class CapsDistributed(DistributedMatmul):
+    """CAPS at its communication lower bound (Eq. 8)."""
+
+    name = "caps-dist"
+    display_name = "CAPS (dist)"
+
+    def __init__(self, cluster: ClusterSpec, leaf_cutoff: int = 64, efficiency: float = 0.85):
+        super().__init__(cluster, efficiency)
+        require_positive(leaf_cutoff, "leaf_cutoff")
+        self.leaf_cutoff = leaf_cutoff
+
+    def _strassen_flops(self, n: int) -> float:
+        s = float(n)
+        flops = 1.0
+        # Count multiply flops with the Winograd recursion to the cutoff.
+        levels = 0
+        while s > self.leaf_cutoff:
+            s /= 2.0
+            levels += 1
+        leaf = 2.0 * s**3
+        adds = 0.0
+        dim = float(n)
+        for level in range(levels):
+            adds += (7.0**level) * 15.0 * (dim / 2.0) ** 2
+            dim /= 2.0
+        return (7.0**levels) * leaf + adds
+
+    def memory_words_per_rank(self, n: int, nodes: int) -> float:
+        # BFS replication: the (7/4)^k blow-up over the classical layout,
+        # k = BFS steps needed to spread over all ranks.
+        k = max(1, math.ceil(math.log(nodes, 7))) if nodes > 1 else 0
+        return 3.0 * float(n) ** 2 / nodes * (7.0 / 4.0) ** k
+
+    def rank_profile(self, n: int, nodes: int) -> RankProfile:
+        require_positive(n, "n")
+        self.cluster.validate_nodes(nodes)
+        self.check_feasible(n, nodes)
+        flops = self._strassen_flops(n) / nodes
+        m_words = self.cluster.node_memory_words()
+        words = communication_bound_words(n, nodes, m_words, OMEGA_STRASSEN).words
+        nbytes = words * _WORD
+        messages = max(1, 7 * math.ceil(math.log(nodes, 7))) if nodes > 1 else 1
+        net = self.cluster.interconnect
+        comm = CommCost(net.transfer_time_s(nbytes, messages), nbytes)
+        return RankProfile(
+            flops=flops,
+            compute_time_s=self._compute_time(flops),
+            dram_bytes=self._local_dram_bytes(flops) + nbytes,
+            comm=comm,
+        )

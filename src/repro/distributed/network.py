@@ -1,0 +1,85 @@
+"""Interconnect and cluster specifications (§VIII extension).
+
+The paper's future work: "migrate the current implementation to a
+distributed memory implementation using MPI.  Measuring the power
+performance characteristics of a distributed memory platform shall take
+into account the power associated with transmitting memory blocks
+across the interconnect as well as local communication traffic."
+
+These specs model exactly that: per-link latency/bandwidth (the classic
+alpha-beta model) plus an interconnect *power plane* — static watts per
+link and energy per byte transmitted — and a cluster of identical nodes
+("we seek to utilize the same microarchitecture as utilized in this
+test", so the default node is the Haswell spec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.specs import MachineSpec, haswell_e3_1225
+from ..util.units import GB
+from ..util.validation import require_nonnegative, require_positive
+
+__all__ = ["InterconnectSpec", "ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Alpha-beta network model plus its power coefficients.
+
+    Attributes
+    ----------
+    latency_s:
+        Per-message latency (alpha).
+    bandwidth_bytes_per_s:
+        Per-link bandwidth (1/beta).
+    j_per_byte:
+        Energy to move one byte across a link (NIC + switch).
+    link_static_w:
+        Idle power of one node's network port.
+    """
+
+    latency_s: float = 1.5e-6
+    bandwidth_bytes_per_s: float = 5.0 * GB
+    j_per_byte: float = 1.0e-9
+    link_static_w: float = 2.0
+
+    def __post_init__(self) -> None:
+        require_nonnegative(self.latency_s, "latency_s")
+        require_positive(self.bandwidth_bytes_per_s, "bandwidth_bytes_per_s")
+        require_nonnegative(self.j_per_byte, "j_per_byte")
+        require_nonnegative(self.link_static_w, "link_static_w")
+
+    def transfer_time_s(self, nbytes: float, messages: int = 1) -> float:
+        """Alpha-beta time for *nbytes* split over *messages* messages."""
+        require_nonnegative(nbytes, "nbytes")
+        require_positive(messages, "messages")
+        return messages * self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+    def transfer_energy_j(self, nbytes: float) -> float:
+        """Dynamic joules to move *nbytes* across one link."""
+        require_nonnegative(nbytes, "nbytes")
+        return nbytes * self.j_per_byte
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster: identical nodes plus an interconnect."""
+
+    node: MachineSpec = field(default_factory=haswell_e3_1225)
+    interconnect: InterconnectSpec = InterconnectSpec()
+    max_nodes: int = 4096
+
+    def __post_init__(self) -> None:
+        require_positive(self.max_nodes, "max_nodes")
+
+    def node_memory_words(self) -> float:
+        """Local memory per node, in 8-byte words (the M of Eq. 8)."""
+        return self.node.dram.capacity_bytes / 8.0
+
+    def validate_nodes(self, nodes: int) -> int:
+        require_positive(nodes, "nodes")
+        if nodes > self.max_nodes:
+            raise ValueError(f"cluster supports at most {self.max_nodes} nodes")
+        return nodes

@@ -1,0 +1,218 @@
+"""Distributed-memory energy-performance study (§VIII extension).
+
+Turns the per-rank profiles of :mod:`repro.distributed.dmatmul` into
+per-plane energies and applies the *full* plane-discretized EP equation
+(Eq. 4): every rank is one of the paper's "parallel units", its planes
+are PACKAGE + DRAM + the interconnect (mapped to the PSYS plane), and
+the totals take ``max`` over ranks exactly as Eq. 2/4 prescribe.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.ep import ep_total_planes
+from ..core.scaling import ScalingPoint, scaling_series
+from ..power.planes import Plane
+from ..util.errors import ValidationError
+from ..util.validation import require_nonempty
+from .dmatmul import DistributedMatmul, RankProfile
+from .network import ClusterSpec
+
+__all__ = ["DistributedRun", "DistributedEPStudy", "DistributedStudyResult"]
+
+
+@dataclass(frozen=True)
+class DistributedRun:
+    """Per-plane view of one (algorithm, n, nodes) configuration."""
+
+    algorithm: str
+    n: int
+    nodes: int
+    profile: RankProfile
+    planes_w: dict[Plane, float]  # average watts per plane, per rank
+
+    @property
+    def time_s(self) -> float:
+        return self.profile.time_s
+
+    @property
+    def rank_power_w(self) -> float:
+        """Total average watts of one rank (independent planes)."""
+        return (
+            self.planes_w[Plane.PACKAGE]
+            + self.planes_w[Plane.DRAM]
+            + self.planes_w[Plane.PSYS]
+        )
+
+    @property
+    def cluster_power_w(self) -> float:
+        """Aggregate watts over all ranks."""
+        return self.nodes * self.rank_power_w
+
+    def ep(self) -> float:
+        """Eq. 4 with zero sequential portion: every rank is a parallel
+        unit with three measurable planes."""
+        per_rank_planes = [
+            {
+                Plane.PACKAGE: self.planes_w[Plane.PACKAGE],
+                Plane.DRAM: self.planes_w[Plane.DRAM],
+                Plane.PSYS: self.planes_w[Plane.PSYS],
+            }
+            for _ in range(self.nodes)
+        ]
+        return ep_total_planes(
+            {}, per_rank_planes, 0.0, [self.time_s] * self.nodes
+        )
+
+
+class DistributedEPStudy:
+    """Sweep node counts for a set of distributed algorithms."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        algorithms: Sequence[DistributedMatmul],
+        node_counts: Sequence[int] = (1, 7, 49, 343),
+    ):
+        self.cluster = cluster
+        self.algorithms = require_nonempty(list(algorithms), "algorithms")
+        self.node_counts = require_nonempty(list(node_counts), "node_counts")
+
+    def _planes(self, profile: RankProfile) -> dict[Plane, float]:
+        """Average watts per plane for one rank over its run."""
+        node = self.cluster.node
+        net = self.cluster.interconnect
+        t = profile.time_s
+        if t <= 0:
+            raise ValidationError("rank time must be positive")
+        em = node.energy
+        # Node package: static + all cores active during compute + uncore.
+        pkg_j = (
+            em.package_static_w * t
+            + node.cores * em.core_active_w * profile.compute_time_s
+            + em.j_per_flop * profile.flops
+            + em.uncore_j_per_dram_byte * profile.dram_bytes
+        )
+        dram_j = em.dram_static_w * t + em.dram_j_per_byte * profile.dram_bytes
+        net_j = net.link_static_w * t + profile.comm.energy_j(net)
+        return {
+            Plane.PACKAGE: pkg_j / t,
+            Plane.DRAM: dram_j / t,
+            Plane.PSYS: net_j / t,
+        }
+
+    def run_one(self, algorithm: DistributedMatmul, n: int, nodes: int) -> DistributedRun:
+        profile = algorithm.rank_profile(n, nodes)
+        return DistributedRun(
+            algorithm=algorithm.name,
+            n=n,
+            nodes=nodes,
+            profile=profile,
+            planes_w=self._planes(profile),
+        )
+
+    def run(self, n: int) -> "DistributedStudyResult":
+        """Strong scaling: fixed size *n* over the node counts."""
+        runs = {}
+        for alg in self.algorithms:
+            for nodes in self.node_counts:
+                runs[(alg.name, nodes)] = self.run_one(alg, n, nodes)
+        return DistributedStudyResult(
+            n=n,
+            node_counts=list(self.node_counts),
+            algorithm_names=[a.name for a in self.algorithms],
+            display_names={a.name: a.display_name for a in self.algorithms},
+            runs=runs,
+        )
+
+    def run_weak(self, n_per_node: int, mode: str = "work") -> "DistributedStudyResult":
+        """Weak scaling — the paper's §VIII "larger problem sizes".
+
+        Matmul has two weak-scaling conventions, both supported:
+
+        * ``mode="work"``: constant *flops* per node, ``n ~ n0 P^(1/3)``
+          — perfect scaling keeps runtime flat, so
+          :meth:`DistributedStudyResult.efficiency_curve` reads as the
+          usual weak-scaling efficiency;
+        * ``mode="memory"``: constant *operand memory* per node,
+          ``n ~ n0 sqrt(P)`` — work per node grows as sqrt(P), the
+          regime where power (not time) is the binding resource.
+        """
+        from ..util.validation import require_positive
+
+        require_positive(n_per_node, "n_per_node")
+        if mode not in ("work", "memory"):
+            raise ValidationError(f"mode must be 'work' or 'memory', got {mode!r}")
+        exponent = 1.0 / 3.0 if mode == "work" else 0.5
+        runs = {}
+        sizes = {}
+        for nodes in self.node_counts:
+            sizes[nodes] = max(1, int(round(n_per_node * nodes**exponent)))
+        for alg in self.algorithms:
+            for nodes in self.node_counts:
+                runs[(alg.name, nodes)] = self.run_one(alg, sizes[nodes], nodes)
+        return DistributedStudyResult(
+            n=-1,  # size varies per node count (weak scaling)
+            node_counts=list(self.node_counts),
+            algorithm_names=[a.name for a in self.algorithms],
+            display_names={a.name: a.display_name for a in self.algorithms},
+            runs=runs,
+            weak_sizes=sizes,
+        )
+
+
+@dataclass
+class DistributedStudyResult:
+    """Results of one distributed sweep.
+
+    ``n`` is the fixed problem size for strong scaling, or ``-1`` for a
+    weak-scaling sweep (per-node-count sizes in :attr:`weak_sizes`).
+    """
+
+    n: int
+    node_counts: list[int]
+    algorithm_names: list[str]
+    display_names: dict[str, str]
+    runs: dict[tuple[str, int], DistributedRun] = field(default_factory=dict)
+    weak_sizes: dict[int, int] | None = None
+
+    @property
+    def is_weak_scaling(self) -> bool:
+        return self.weak_sizes is not None
+
+    def efficiency_curve(self, alg: str) -> list[tuple[int, float]]:
+        """Weak-scaling efficiency: T(1 node) / T(P nodes); 1.0 is
+        perfect (constant time at constant work per node)."""
+        if 1 not in self.node_counts:
+            raise ValidationError("efficiency needs a single-node baseline")
+        t1 = self.run_for(alg, 1).time_s
+        return [(p, t1 / self.run_for(alg, p).time_s) for p in self.node_counts]
+
+    def run_for(self, alg: str, nodes: int) -> DistributedRun:
+        key = (alg, nodes)
+        if key not in self.runs:
+            raise ValidationError(f"no run for {key}")
+        return self.runs[key]
+
+    def time_curve(self, alg: str) -> list[tuple[int, float]]:
+        return [(p, self.run_for(alg, p).time_s) for p in self.node_counts]
+
+    def comm_fraction_curve(self, alg: str) -> list[tuple[int, float]]:
+        return [
+            (p, self.run_for(alg, p).profile.comm_fraction)
+            for p in self.node_counts
+        ]
+
+    def cluster_power_curve(self, alg: str) -> list[tuple[int, float]]:
+        return [(p, self.run_for(alg, p).cluster_power_w) for p in self.node_counts]
+
+    def scaling_curve(self, alg: str) -> list[ScalingPoint]:
+        """Eq. 5 over node counts (node_counts[0] must be 1)."""
+        if self.node_counts[0] != 1:
+            raise ValidationError("scaling needs a single-node baseline")
+        eps = [self.run_for(alg, p).ep() for p in self.node_counts]
+        return scaling_series(eps, self.node_counts)

@@ -1,0 +1,365 @@
+"""Cache hierarchy: declarative specs plus a trace-driven simulator.
+
+Two complementary models live here:
+
+* :class:`CacheLevelSpec` / :class:`CacheHierarchySpec` — the *analytical*
+  description (capacity, line size, associativity, bandwidth, sharing)
+  that the algorithm cost models (`repro.algorithms`) use to derive
+  per-kernel traffic volumes, and that the blocked-DGEMM tuner uses to
+  pick blocking factors the way OpenBLAS does ("determining what the best
+  blocking factor is for the platform based upon cache hierarchy and
+  respective capacity of each cache level", paper §IV-A).
+
+* :class:`SetAssociativeCache` / :class:`CacheHierarchySim` — a small
+  trace-driven LRU simulator.  It is far too slow to drive full-size
+  matmuls, but the test suite replays small kernels through it to
+  cross-check the analytical traffic models (DESIGN §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util.errors import ConfigurationError, ValidationError
+from ..util.units import KiB, MiB, fmt_bytes
+from ..util.validation import is_power_of_two, require_positive
+
+__all__ = [
+    "CacheLevelSpec",
+    "CacheHierarchySpec",
+    "AccessResult",
+    "SetAssociativeCache",
+    "CacheHierarchySim",
+]
+
+
+@dataclass(frozen=True)
+class CacheLevelSpec:
+    """Static description of one cache level.
+
+    Attributes
+    ----------
+    name:
+        Display name ("L1", "L2", "L3").
+    capacity_bytes:
+        Total capacity of one instance of this cache.
+    line_bytes:
+        Cache line size (64 B on every platform we model).
+    associativity:
+        Ways per set.
+    shared:
+        ``True`` when one instance is shared by all cores in a socket
+        (L3 on the paper's platform); ``False`` for per-core caches.
+    bandwidth_bytes_per_s:
+        Sustainable fill bandwidth of the level.  For shared levels this
+        is an aggregate that concurrent cores contend for; for private
+        levels it is per core.
+    latency_cycles:
+        Load-to-use latency; used only for reporting and the roofline
+        helpers, not by the throughput-based engine.
+    """
+
+    name: str
+    capacity_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+    shared: bool = False
+    bandwidth_bytes_per_s: float = 100e9
+    latency_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        require_positive(self.capacity_bytes, "capacity_bytes")
+        require_positive(self.bandwidth_bytes_per_s, "bandwidth_bytes_per_s")
+        if not is_power_of_two(self.line_bytes):
+            raise ConfigurationError(
+                f"line_bytes must be a power of two, got {self.line_bytes}"
+            )
+        if self.associativity < 1:
+            raise ConfigurationError("associativity must be >= 1")
+        if self.capacity_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ConfigurationError(
+                f"{self.name}: capacity {self.capacity_bytes} is not divisible "
+                f"by line_bytes*associativity"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (capacity / (line * ways))."""
+        return self.capacity_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.capacity_bytes // self.line_bytes
+
+    def fits(self, working_set_bytes: float) -> bool:
+        """True when *working_set_bytes* fits entirely in this level."""
+        return working_set_bytes <= self.capacity_bytes
+
+    def describe(self) -> str:
+        kind = "shared" if self.shared else "private"
+        return (
+            f"{self.name}: {fmt_bytes(self.capacity_bytes)} "
+            f"{self.associativity}-way {kind}"
+        )
+
+
+@dataclass(frozen=True)
+class CacheHierarchySpec:
+    """An ordered tuple of cache levels, innermost (L1) first."""
+
+    levels: tuple[CacheLevelSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ConfigurationError("hierarchy needs at least one level")
+        caps = [lv.capacity_bytes for lv in self.levels]
+        if sorted(caps) != caps:
+            raise ConfigurationError(
+                "cache levels must be ordered by non-decreasing capacity "
+                f"(innermost first); got {caps}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __iter__(self):
+        return iter(self.levels)
+
+    def level(self, name: str) -> CacheLevelSpec:
+        """Look a level up by name ('L1'/'L2'/'L3')."""
+        for lv in self.levels:
+            if lv.name == name:
+                return lv
+        raise ValidationError(f"no cache level named {name!r}")
+
+    @property
+    def innermost(self) -> CacheLevelSpec:
+        return self.levels[0]
+
+    @property
+    def outermost(self) -> CacheLevelSpec:
+        return self.levels[-1]
+
+    @property
+    def last_level_capacity(self) -> int:
+        """Capacity of the last-level cache (the paper's '8MB of cache')."""
+        return self.outermost.capacity_bytes
+
+    def smallest_level_containing(self, working_set_bytes: float) -> CacheLevelSpec | None:
+        """The innermost level whose capacity holds *working_set_bytes*,
+        or ``None`` if even the LLC is too small (the set spills to DRAM)."""
+        for lv in self.levels:
+            if lv.fits(working_set_bytes):
+                return lv
+        return None
+
+    @staticmethod
+    def haswell_like() -> "CacheHierarchySpec":
+        """The E3-1225 hierarchy: 32 KiB L1D + 256 KiB L2 per core,
+        8 MiB shared L3."""
+        return CacheHierarchySpec(
+            (
+                CacheLevelSpec("L1", 32 * KiB, 64, 8, False, 200e9, 4),
+                CacheLevelSpec("L2", 256 * KiB, 64, 8, False, 80e9, 12),
+                CacheLevelSpec("L3", 8 * MiB, 64, 16, True, 120e9, 36),
+            )
+        )
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one hierarchy access: which level served the line."""
+
+    address: int
+    hit_level: str  # level name, or "MEM" when every level missed
+
+    @property
+    def is_memory(self) -> bool:
+        return self.hit_level == "MEM"
+
+
+class SetAssociativeCache:
+    """Trace-driven set-associative cache with true-LRU replacement.
+
+    Addresses are byte addresses; each access touches the line containing
+    the address.  The implementation keeps per-set lists ordered from LRU
+    to MRU, which is ample for the small validation traces the tests use.
+
+    Write-back semantics: stores mark a line dirty; evicting a dirty
+    line increments :attr:`writebacks` (the traffic a write-back cache
+    pushes toward the next level).
+    """
+
+    def __init__(self, spec: CacheLevelSpec):
+        self.spec = spec
+        self._sets: list[list[int]] = [[] for _ in range(spec.num_sets)]
+        self._dirty: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.spec.line_bytes
+        return line % self.spec.num_sets, line
+
+    def _evict_if_full(self, ways: list[int]) -> None:
+        if len(ways) >= self.spec.associativity:
+            victim = ways.pop(0)
+            if victim in self._dirty:
+                self._dirty.discard(victim)
+                self.writebacks += 1
+
+    def access(self, address: int, write: bool = False) -> bool:
+        """Touch *address*; return ``True`` on hit.
+
+        On a miss the line is installed, evicting the LRU line of its set
+        (write-back counted if the victim was dirty).  *write* marks the
+        line dirty.
+        """
+        set_idx, tag = self._locate(address)
+        ways = self._sets[set_idx]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.hits += 1
+            if write:
+                self._dirty.add(tag)
+            return True
+        self.misses += 1
+        self._evict_if_full(ways)
+        ways.append(tag)
+        if write:
+            self._dirty.add(tag)
+        return False
+
+    def install(self, address: int) -> bool:
+        """Insert the line without demand accounting (prefetch path).
+
+        Returns ``True`` when the line was newly installed.
+        """
+        set_idx, tag = self._locate(address)
+        ways = self._sets[set_idx]
+        if tag in ways:
+            return False
+        self._evict_if_full(ways)
+        ways.append(tag)
+        return True
+
+    def contains(self, address: int) -> bool:
+        """Non-mutating lookup."""
+        set_idx, tag = self._locate(address)
+        return tag in self._sets[set_idx]
+
+    def is_dirty(self, address: int) -> bool:
+        """Whether the line holding *address* is resident and dirty."""
+        _, tag = self._locate(address)
+        return tag in self._dirty
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses / accesses (0 when no accesses were made)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def writeback_bytes(self) -> int:
+        """Bytes written back to the next level so far."""
+        return self.writebacks * self.spec.line_bytes
+
+    def reset_counters(self) -> None:
+        """Zero hit/miss/writeback counters without flushing contents."""
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def flush(self) -> None:
+        """Empty the cache and zero counters (dirty state discarded)."""
+        self._sets = [[] for _ in range(self.spec.num_sets)]
+        self._dirty = set()
+        self.reset_counters()
+
+
+class CacheHierarchySim:
+    """A stack of :class:`SetAssociativeCache` instances (inclusive model).
+
+    An access probes L1 first; each miss falls through to the next level.
+    Per-level byte counters record fill traffic *into* that level, which
+    is what the analytical cost models predict and what the energy model
+    charges for.
+
+    Optional next-line prefetching (``prefetch=True``): every demand
+    miss also installs the following line throughout the hierarchy —
+    the simplest hardware prefetcher, enough to show why streaming
+    kernels see far fewer demand misses than the cold-miss count
+    suggests.  Prefetch fills are tallied separately
+    (:attr:`prefetch_bytes`).
+    """
+
+    def __init__(self, spec: CacheHierarchySpec, prefetch: bool = False):
+        self.spec = spec
+        self.prefetch = prefetch
+        self.caches = [SetAssociativeCache(lv) for lv in spec.levels]
+        # bytes_filled[i] = bytes moved from level i+1 (or memory) into level i
+        self.bytes_filled = [0 for _ in spec.levels]
+        self.memory_bytes = 0
+        self.prefetch_bytes = 0
+
+    def access(self, address: int, write: bool = False) -> AccessResult:
+        """Probe the hierarchy for *address*; fill all missing levels."""
+        result = self._demand_access(address, write)
+        if self.prefetch and result.hit_level != "L1":
+            self._prefetch_line(address + self.spec.innermost.line_bytes)
+        return result
+
+    def _demand_access(self, address: int, write: bool) -> AccessResult:
+        for i, cache in enumerate(self.caches):
+            if cache.access(address, write=write):
+                # Hit at level i: levels above were already filled by the
+                # miss path of this call (they missed and installed).
+                for j in range(i):
+                    self.bytes_filled[j] += self.spec.levels[j].line_bytes
+                return AccessResult(address, cache.spec.name)
+        # Missed everywhere: memory supplies the line, all levels fill.
+        for j, lv in enumerate(self.spec.levels):
+            self.bytes_filled[j] += lv.line_bytes
+        self.memory_bytes += self.spec.outermost.line_bytes
+        return AccessResult(address, "MEM")
+
+    def _prefetch_line(self, address: int) -> None:
+        installed_somewhere = False
+        for cache in self.caches:
+            if cache.install(address):
+                installed_somewhere = True
+        if installed_somewhere:
+            self.prefetch_bytes += self.spec.innermost.line_bytes
+
+    def access_range(
+        self, start: int, nbytes: int, stride: int = 8, write: bool = False
+    ) -> None:
+        """Touch every *stride*-th byte in ``[start, start+nbytes)`` —
+        convenience for streaming-kernel traces."""
+        require_positive(stride, "stride")
+        for addr in range(start, start + nbytes, stride):
+            self.access(addr, write=write)
+
+    def traffic_by_level(self) -> dict[str, int]:
+        """Fill traffic per level name plus ``"MEM"`` for DRAM reads."""
+        out = {lv.name: b for lv, b in zip(self.spec.levels, self.bytes_filled)}
+        out["MEM"] = self.memory_bytes
+        return out
+
+    def writeback_bytes_by_level(self) -> dict[str, int]:
+        """Dirty-eviction traffic out of each level."""
+        return {c.spec.name: c.writeback_bytes for c in self.caches}
+
+    def flush(self) -> None:
+        """Empty every level and zero all counters."""
+        for cache in self.caches:
+            cache.flush()
+        self.bytes_filled = [0 for _ in self.spec.levels]
+        self.memory_bytes = 0
+        self.prefetch_bytes = 0

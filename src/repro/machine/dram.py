@@ -1,0 +1,76 @@
+"""Main-memory (DRAM) model.
+
+The paper's platform has a *single* DDR3/PC3-12800 DIMM (one channel,
+1600 MT/s, 4 GB).  One channel matters: 12.8 GB/s of shared bandwidth
+against ~205 Gflop/s of peak compute gives the machine a very high
+compute-to-memory ratio ("relatively high compute-to-memory ratio with a
+relatively low memory capacity", §VI-B), which is exactly why blocked
+DGEMM stops scaling before four threads and why its power keeps climbing
+anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.units import GB, GiB, fmt_bytes
+from ..util.validation import require_positive
+
+__all__ = ["DramSpec"]
+
+
+@dataclass(frozen=True)
+class DramSpec:
+    """Capacity and throughput of main memory.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Total installed memory.  Studies refuse workloads whose resident
+        set exceeds this (the paper could not run >4096^2 Strassen for
+        this reason).
+    channels:
+        Independent memory channels; bandwidth scales with channels.
+    bandwidth_per_channel_bytes_per_s:
+        Peak transfer rate of one channel (PC3-12800 = 12.8 GB/s).
+    sustained_fraction:
+        Fraction of peak achievable by streaming kernels (DRAM page
+        effects, refresh); typical 0.8 for DDR3.
+    latency_s:
+        Idle random-access latency, reporting only.
+    """
+
+    capacity_bytes: int = 4 * GiB
+    channels: int = 1
+    bandwidth_per_channel_bytes_per_s: float = 12.8 * GB
+    sustained_fraction: float = 0.8
+    latency_s: float = 65e-9
+
+    def __post_init__(self) -> None:
+        require_positive(self.capacity_bytes, "capacity_bytes")
+        require_positive(self.channels, "channels")
+        require_positive(
+            self.bandwidth_per_channel_bytes_per_s, "bandwidth_per_channel_bytes_per_s"
+        )
+        require_positive(self.sustained_fraction, "sustained_fraction")
+
+    @property
+    def peak_bandwidth_bytes_per_s(self) -> float:
+        """Aggregate peak bandwidth over all channels."""
+        return self.channels * self.bandwidth_per_channel_bytes_per_s
+
+    @property
+    def sustained_bandwidth_bytes_per_s(self) -> float:
+        """Achievable streaming bandwidth — the figure the engine's shared
+        memory resource is provisioned with."""
+        return self.peak_bandwidth_bytes_per_s * self.sustained_fraction
+
+    def fits(self, resident_bytes: float) -> bool:
+        """True when a working set of *resident_bytes* fits in memory."""
+        return resident_bytes <= self.capacity_bytes
+
+    def describe(self) -> str:
+        return (
+            f"{fmt_bytes(self.capacity_bytes)} DRAM, {self.channels} ch x "
+            f"{self.bandwidth_per_channel_bytes_per_s / GB:.1f} GB/s"
+        )

@@ -1,0 +1,117 @@
+"""Core frequency domains and DVFS P-states.
+
+The paper's test platform explicitly *disables* dynamic frequency scaling
+in BIOS ("we disabled the default power saving features"), so the default
+domain used by the shipped machine specs is a fixed-frequency domain.
+DVFS support is still modelled because the energy model (dynamic power
+proportional to ``f * V^2`` with ``V`` roughly linear in ``f``) needs it
+for the ablation benchmarks, and because power-saving-enabled platforms
+are a documented extension point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..util.errors import ConfigurationError
+from ..util.units import GHZ, fmt_hz
+from ..util.validation import require_nonempty, require_positive
+
+__all__ = ["PState", "FrequencyDomain", "fixed_frequency"]
+
+
+@dataclass(frozen=True)
+class PState:
+    """One DVFS operating point.
+
+    Attributes
+    ----------
+    frequency_hz:
+        Core clock for this state.
+    voltage:
+        Relative supply voltage (dimensionless, normalised so the nominal
+        state is 1.0).  Dynamic power scales as ``f * voltage**2``.
+    """
+
+    frequency_hz: float
+    voltage: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.frequency_hz, "frequency_hz")
+        require_positive(self.voltage, "voltage")
+
+    @property
+    def dynamic_power_factor(self) -> float:
+        """Relative dynamic power versus a 1 Hz / 1.0 V reference:
+        ``f * V^2`` (classic CMOS switching-power model)."""
+        return self.frequency_hz * self.voltage**2
+
+
+@dataclass(frozen=True)
+class FrequencyDomain:
+    """A set of selectable P-states plus the currently governed state.
+
+    The domain is immutable; "changing frequency" returns a new domain via
+    :meth:`at_state`.  This keeps machine specs hashable and safe to share
+    across concurrent studies.
+    """
+
+    pstates: tuple[PState, ...]
+    active_index: int = 0
+    power_saving_enabled: bool = False
+
+    def __post_init__(self) -> None:
+        require_nonempty(self.pstates, "pstates")
+        if not (0 <= self.active_index < len(self.pstates)):
+            raise ConfigurationError(
+                f"active_index {self.active_index} out of range for "
+                f"{len(self.pstates)} P-states"
+            )
+        freqs = [p.frequency_hz for p in self.pstates]
+        if sorted(freqs) != freqs:
+            raise ConfigurationError("pstates must be ordered by ascending frequency")
+
+    @property
+    def active(self) -> PState:
+        """The P-state the cores currently run at."""
+        return self.pstates[self.active_index]
+
+    @property
+    def frequency_hz(self) -> float:
+        """Active core clock in Hz."""
+        return self.active.frequency_hz
+
+    @property
+    def nominal(self) -> PState:
+        """The highest P-state (nominal/turbo frequency)."""
+        return self.pstates[-1]
+
+    def at_state(self, index: int) -> "FrequencyDomain":
+        """Return a copy governed to P-state *index*."""
+        if not (0 <= index < len(self.pstates)):
+            raise ConfigurationError(
+                f"P-state index {index} out of range [0, {len(self.pstates)})"
+            )
+        return FrequencyDomain(self.pstates, index, self.power_saving_enabled)
+
+    def scaled_dynamic_power(self, nominal_power_w: float) -> float:
+        """Scale a power figure quoted at the nominal P-state down (or up)
+        to the active P-state using the ``f * V^2`` model."""
+        ref = self.nominal.dynamic_power_factor
+        return nominal_power_w * self.active.dynamic_power_factor / ref
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count at the active frequency to seconds."""
+        return cycles / self.frequency_hz
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``3.2 GHz (fixed)``."""
+        mode = "DVFS" if self.power_saving_enabled else "fixed"
+        return f"{fmt_hz(self.frequency_hz)} ({mode})"
+
+
+def fixed_frequency(frequency_hz: float = 3.2 * GHZ) -> FrequencyDomain:
+    """A single-P-state domain with power saving disabled — the paper's
+    BIOS configuration."""
+    return FrequencyDomain((PState(frequency_hz, 1.0),), 0, False)

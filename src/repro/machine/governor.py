@@ -1,0 +1,124 @@
+"""DVFS governors — the power-saving machinery the paper turned off.
+
+§V-A: "we disabled the default power saving features in the system
+BIOS.  These power saving features permit the kernel and in-situ
+hardware logic to perform frequency scaling on cores that are not well
+utilized."  This module models those features so studies can quantify
+exactly what disabling them cost/bought:
+
+* :class:`PerformanceGovernor` — always the top P-state (equivalent to
+  the paper's BIOS setting);
+* :class:`PowersaveGovernor` — always the bottom P-state;
+* :class:`OndemandGovernor` — utilization-reactive: top state above the
+  up-threshold, proportionally lower states below it (the classic Linux
+  ``ondemand`` behaviour, §II-A's "heuristic or fundamentally reactive
+  methodologies").
+
+Governors here operate at *steady state*: a run is measured once at the
+nominal state to observe its utilization, then re-simulated at the
+state a reactive governor would converge to for that sustained load.
+Transient ramp behaviour is out of scope (and is precisely the "loss of
+accuracy" the paper avoided by disabling the feature).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import replace
+
+from ..util.errors import ConfigurationError
+from ..util.validation import require_in_range
+from .frequency import FrequencyDomain
+from .specs import MachineSpec
+
+__all__ = [
+    "Governor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "OndemandGovernor",
+    "governed_machine",
+]
+
+
+class Governor(ABC):
+    """Chooses a P-state index from observed utilization."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def choose(self, utilization: float, num_pstates: int) -> int:
+        """P-state index (0 = slowest) for a sustained *utilization*
+        in [0, 1] on a domain with *num_pstates* states."""
+
+    def _check(self, utilization: float, num_pstates: int) -> None:
+        require_in_range(utilization, 0.0, 1.0, "utilization")
+        if num_pstates < 1:
+            raise ConfigurationError("need at least one P-state")
+
+
+class PerformanceGovernor(Governor):
+    """Pin the top P-state — the paper's BIOS configuration."""
+
+    name = "performance"
+
+    def choose(self, utilization: float, num_pstates: int) -> int:
+        self._check(utilization, num_pstates)
+        return num_pstates - 1
+
+
+class PowersaveGovernor(Governor):
+    """Pin the bottom P-state."""
+
+    name = "powersave"
+
+    def choose(self, utilization: float, num_pstates: int) -> int:
+        self._check(utilization, num_pstates)
+        return 0
+
+
+class OndemandGovernor(Governor):
+    """Linux-ondemand-style reactive selection.
+
+    Utilization at or above *up_threshold* gets the top state; below
+    it, the state scales proportionally with utilization (the
+    ``ondemand`` "scale frequency with load" rule).
+    """
+
+    name = "ondemand"
+
+    def __init__(self, up_threshold: float = 0.8):
+        require_in_range(up_threshold, 0.05, 1.0, "up_threshold")
+        self.up_threshold = up_threshold
+
+    def choose(self, utilization: float, num_pstates: int) -> int:
+        self._check(utilization, num_pstates)
+        if utilization >= self.up_threshold:
+            return num_pstates - 1
+        fraction = utilization / self.up_threshold
+        return min(num_pstates - 1, int(fraction * num_pstates))
+
+
+def governed_machine(
+    machine: MachineSpec, governor: Governor, utilization: float
+) -> MachineSpec:
+    """The machine re-pinned to the P-state *governor* converges to for
+    a workload sustaining *utilization*.
+
+    Requires a multi-P-state frequency domain (build one with
+    :class:`~repro.machine.frequency.FrequencyDomain`); a
+    single-state domain (the shipped Haswell spec) is returned
+    unchanged by the performance governor and rejected otherwise,
+    mirroring a BIOS with frequency scaling disabled.
+    """
+    domain: FrequencyDomain = machine.frequency
+    n = len(domain.pstates)
+    index = governor.choose(utilization, n)
+    if n == 1 and not isinstance(governor, PerformanceGovernor):
+        raise ConfigurationError(
+            f"machine {machine.name!r} has frequency scaling disabled "
+            f"(single P-state); governor {governor.name!r} has nothing to govern"
+        )
+    return replace(
+        machine,
+        frequency=replace(domain, active_index=index, power_saving_enabled=True),
+    )

@@ -1,0 +1,75 @@
+"""Roofline model helpers.
+
+The paper's §IV-D argument — "this crossover point can be described for
+a target platform using its peak computational performance and its
+ability to move data" — is the roofline argument: a kernel's attainable
+throughput is ``min(peak_flops, intensity * bandwidth)``.  These helpers
+make that reasoning first-class for any :class:`MachineSpec` and any
+:class:`~repro.runtime.cost.TaskCost`, and are what the reporting layer
+uses to annotate kernels as compute- or bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.cost import TaskCost
+from ..util.validation import require_nonnegative, require_positive
+from .specs import MachineSpec
+
+__all__ = ["RooflinePoint", "ridge_intensity", "attainable_flops", "locate"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on a machine's roofline."""
+
+    intensity: float  # flop per DRAM byte
+    attainable_flops: float  # flop/s ceiling at this intensity
+    bound: str  # "compute" or "bandwidth"
+
+    @property
+    def is_compute_bound(self) -> bool:
+        return self.bound == "compute"
+
+
+def ridge_intensity(machine: MachineSpec, cores: int | None = None) -> float:
+    """The ridge point in flop/byte: kernels below it are
+    bandwidth-bound, above it compute-bound.
+
+    With *cores* restricted (the thread-count knob), the compute ceiling
+    drops and the ridge moves left — why the paper's memory-starved
+    platform still runs blocked DGEMM compute-bound at 1 thread but
+    edges toward the bandwidth wall at 4.
+    """
+    peak = machine.core_peak_flops * (cores if cores is not None else machine.cores)
+    require_positive(peak, "peak")
+    return peak / machine.dram_bandwidth
+
+
+def attainable_flops(
+    machine: MachineSpec, intensity: float, cores: int | None = None
+) -> float:
+    """``min(peak, intensity * bandwidth)`` — the roofline itself."""
+    require_nonnegative(intensity, "intensity")
+    peak = machine.core_peak_flops * (cores if cores is not None else machine.cores)
+    return min(peak, intensity * machine.dram_bandwidth)
+
+
+def locate(
+    machine: MachineSpec, cost: TaskCost, cores: int | None = None
+) -> RooflinePoint:
+    """Place a task cost on the roofline.
+
+    The intensity is flops per DRAM byte (infinite for cache-resident
+    work, which is compute-bound by definition).
+    """
+    intensity = cost.arithmetic_intensity()
+    if intensity == float("inf"):
+        peak = machine.core_peak_flops * (cores if cores is not None else machine.cores)
+        return RooflinePoint(intensity, peak, "compute")
+    ceiling = attainable_flops(machine, intensity, cores)
+    bound = (
+        "compute" if intensity >= ridge_intensity(machine, cores) else "bandwidth"
+    )
+    return RooflinePoint(intensity, ceiling, bound)

@@ -1,0 +1,193 @@
+"""Complete machine specifications.
+
+A :class:`MachineSpec` bundles topology, frequency, cache hierarchy, DRAM
+and the energy model into the single object the execution engine, the
+algorithm cost models and the EP study all consume.
+
+Two factories ship:
+
+* :func:`haswell_e3_1225` — the paper's platform (§V-A): Lenovo TS140,
+  Intel E3-1225 "Haswell" quad core at 3.2 GHz, 8 MB LLC, one DDR3-1600
+  DIMM (4 GB), BIOS power saving disabled.
+* :func:`generic_smp` — a parameterized SMP for sweeps and what-if
+  studies (more cores, more channels, different balance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..util.units import GB, GHZ, GiB, KiB, MiB
+from ..util.validation import require_positive
+from .cache import CacheHierarchySpec, CacheLevelSpec
+from .dram import DramSpec
+from .energy import EnergyModel
+from .frequency import FrequencyDomain, fixed_frequency
+from .topology import CoreSpec, MachineTopology, SocketSpec
+
+__all__ = ["MachineSpec", "haswell_e3_1225", "dual_socket_haswell", "generic_smp"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Everything the simulator needs to know about one machine."""
+
+    name: str
+    topology: MachineTopology
+    frequency: FrequencyDomain
+    caches: CacheHierarchySpec
+    dram: DramSpec
+    energy: EnergyModel
+
+    @property
+    def cores(self) -> int:
+        """Physical core count (the paper's maximum thread count)."""
+        return self.topology.total_cores
+
+    @property
+    def core_peak_flops(self) -> float:
+        """Peak DP flop/s of one core at the active frequency."""
+        core = self.topology.sockets[0].core
+        return core.peak_flops(self.frequency.frequency_hz)
+
+    @property
+    def machine_peak_flops(self) -> float:
+        """Aggregate peak DP flop/s."""
+        return self.topology.peak_flops(self.frequency.frequency_hz)
+
+    @property
+    def dram_bandwidth(self) -> float:
+        """Sustained shared DRAM bandwidth in bytes/s."""
+        return self.dram.sustained_bandwidth_bytes_per_s
+
+    @property
+    def l3_bandwidth(self) -> float:
+        """Aggregate bandwidth of the shared last-level cache."""
+        return self.caches.outermost.bandwidth_bytes_per_s
+
+    @property
+    def dvfs_factor(self) -> float:
+        """Dynamic-power scale of the active P-state vs nominal."""
+        active = self.frequency.active.dynamic_power_factor
+        nominal = self.frequency.nominal.dynamic_power_factor
+        return active / nominal
+
+    def compute_to_memory_ratio(self) -> float:
+        """Machine balance in flop per DRAM byte — §IV-D's y/z (modulo
+        unit conventions).  High values favour blocked DGEMM over
+        Strassen at modest sizes."""
+        return self.machine_peak_flops / self.dram_bandwidth
+
+    def with_cores(self, cores: int) -> "MachineSpec":
+        """A copy restricted/extended to *cores* identical cores — used
+        by scaling sweeps beyond the thread-count knob."""
+        require_positive(cores, "cores")
+        core = self.topology.sockets[0].core
+        return replace(
+            self,
+            name=f"{self.name}[{cores}c]",
+            topology=MachineTopology.single_socket(cores, core),
+        )
+
+    def with_energy(self, energy: EnergyModel) -> "MachineSpec":
+        """A copy with a different energy model (calibration)."""
+        return replace(self, energy=energy)
+
+    def describe(self) -> str:
+        """Multi-line human-readable platform summary."""
+        lines = [
+            f"machine: {self.name}",
+            f"  cores: {self.cores} @ {self.frequency.describe()}",
+            f"  peak:  {self.machine_peak_flops / 1e9:.1f} Gflop/s "
+            f"({self.core_peak_flops / 1e9:.1f}/core)",
+            *(f"  {lv.describe()}" for lv in self.caches),
+            f"  {self.dram.describe()}",
+            f"  balance: {self.compute_to_memory_ratio():.1f} flop/DRAM-byte",
+        ]
+        return "\n".join(lines)
+
+
+def haswell_e3_1225(*, energy: EnergyModel | None = None) -> MachineSpec:
+    """The paper's test platform (§V-A, Table I environment).
+
+    Core figures: 4 cores, 3.2 GHz, AVX2+FMA (16 DP flop/cycle),
+    32 KiB L1D + 256 KiB L2 per core, 8 MiB shared L3, a single
+    DDR3-1600 channel with 4 GiB, fixed frequency (BIOS power saving
+    disabled).  The energy-model coefficients are the calibrated set
+    (see ``repro.sim.calibration``) targeting the paper's Table III.
+    """
+    return MachineSpec(
+        name="haswell-e3-1225",
+        topology=MachineTopology.single_socket(4, CoreSpec(flops_per_cycle=16.0)),
+        frequency=fixed_frequency(3.2 * GHZ),
+        caches=CacheHierarchySpec.haswell_like(),
+        dram=DramSpec(
+            capacity_bytes=4 * GiB,
+            channels=1,
+            bandwidth_per_channel_bytes_per_s=12.8 * GB,
+            sustained_fraction=0.8,
+        ),
+        energy=energy or EnergyModel(),
+    )
+
+
+def dual_socket_haswell(*, energy: EnergyModel | None = None) -> MachineSpec:
+    """A dual-socket sibling of the paper's platform: 2 x 4 Haswell
+    cores, one 8 MiB LLC *per socket* (the scheduler treats L3
+    bandwidth as a per-socket resource), and a second memory channel.
+
+    Used by the sensitivity studies to ask the paper's §VIII question —
+    what happens on larger platforms — without leaving the
+    microarchitecture ("we seek to utilize the same microarchitecture
+    as utilized in this test").
+    """
+    return MachineSpec(
+        name="haswell-2s",
+        topology=MachineTopology(
+            (
+                SocketSpec(4, CoreSpec(flops_per_cycle=16.0)),
+                SocketSpec(4, CoreSpec(flops_per_cycle=16.0)),
+            )
+        ),
+        frequency=fixed_frequency(3.2 * GHZ),
+        caches=CacheHierarchySpec.haswell_like(),
+        dram=DramSpec(
+            capacity_bytes=16 * GiB,
+            channels=2,
+            bandwidth_per_channel_bytes_per_s=12.8 * GB,
+            sustained_fraction=0.8,
+        ),
+        energy=energy or EnergyModel(),
+    )
+
+
+def generic_smp(
+    cores: int = 8,
+    frequency_hz: float = 2.5 * GHZ,
+    flops_per_cycle: float = 16.0,
+    l3_bytes: int = 16 * MiB,
+    dram_channels: int = 2,
+    dram_capacity_bytes: int = 32 * GiB,
+    energy: EnergyModel | None = None,
+    name: str | None = None,
+) -> MachineSpec:
+    """A parameterized symmetric multiprocessor for what-if sweeps."""
+    require_positive(cores, "cores")
+    caches = CacheHierarchySpec(
+        (
+            CacheLevelSpec("L1", 32 * KiB, 64, 8, False, 200e9, 4),
+            CacheLevelSpec("L2", 256 * KiB, 64, 8, False, 80e9, 12),
+            CacheLevelSpec("L3", l3_bytes, 64, 16, True, 150e9, 40),
+        )
+    )
+    return MachineSpec(
+        name=name or f"generic-smp-{cores}c",
+        topology=MachineTopology.single_socket(cores, CoreSpec(flops_per_cycle)),
+        frequency=fixed_frequency(frequency_hz),
+        caches=caches,
+        dram=DramSpec(
+            capacity_bytes=dram_capacity_bytes,
+            channels=dram_channels,
+        ),
+        energy=energy or EnergyModel(),
+    )

@@ -1,0 +1,128 @@
+"""SMP topology: cores, sockets and their arrangement.
+
+The paper's platform is a single-socket symmetric multiprocessor (Intel
+E3-1225, four cores, no SMT).  The topology model is deliberately small:
+one socket, ``n`` identical cores, with per-core peak flop throughput
+derived from the SIMD issue width.  Multi-socket layouts are supported
+for the distributed/extension studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..util.errors import ConfigurationError
+from ..util.validation import require_positive
+
+__all__ = ["CoreSpec", "SocketSpec", "MachineTopology", "CoreId"]
+
+
+@dataclass(frozen=True, order=True)
+class CoreId:
+    """Stable identifier of one hardware core: ``(socket, index)``."""
+
+    socket: int
+    index: int
+
+    def __str__(self) -> str:
+        return f"s{self.socket}c{self.index}"
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Per-core execution capabilities.
+
+    Attributes
+    ----------
+    flops_per_cycle:
+        Peak double-precision flop issue per cycle.  Haswell with two
+        AVX2 FMA pipes retires 16 DP flop/cycle.
+    smt_ways:
+        Hardware threads per core (E3-1225 has no HyperThreading -> 1).
+    """
+
+    flops_per_cycle: float = 16.0
+    smt_ways: int = 1
+
+    def __post_init__(self) -> None:
+        require_positive(self.flops_per_cycle, "flops_per_cycle")
+        if self.smt_ways < 1:
+            raise ConfigurationError(f"smt_ways must be >= 1, got {self.smt_ways}")
+
+    def peak_flops(self, frequency_hz: float) -> float:
+        """Peak flop/s for one core at *frequency_hz*."""
+        return self.flops_per_cycle * frequency_hz
+
+
+@dataclass(frozen=True)
+class SocketSpec:
+    """One CPU package: a number of identical cores."""
+
+    cores: int
+    core: CoreSpec = CoreSpec()
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError(f"socket must have >= 1 core, got {self.cores}")
+
+
+@dataclass(frozen=True)
+class MachineTopology:
+    """The full processor arrangement of a machine.
+
+    Iterating a topology yields :class:`CoreId` values in a stable order
+    (socket-major), which the scheduler uses as its core numbering.
+    """
+
+    sockets: tuple[SocketSpec, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sockets) < 1:
+            raise ConfigurationError("topology needs at least one socket")
+
+    @property
+    def total_cores(self) -> int:
+        """Number of physical cores across all sockets."""
+        return sum(s.cores for s in self.sockets)
+
+    @property
+    def total_hw_threads(self) -> int:
+        """Number of hardware threads (cores x SMT ways)."""
+        return sum(s.cores * s.core.smt_ways for s in self.sockets)
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when every socket has an identical core configuration —
+        the SMP assumption the paper's equations rely on."""
+        first = self.sockets[0]
+        return all(
+            s.cores == first.cores and s.core == first.core for s in self.sockets
+        )
+
+    def core_ids(self) -> list[CoreId]:
+        """All cores in stable socket-major order."""
+        out: list[CoreId] = []
+        for si, sock in enumerate(self.sockets):
+            out.extend(CoreId(si, ci) for ci in range(sock.cores))
+        return out
+
+    def core_spec(self, core: CoreId) -> CoreSpec:
+        """The :class:`CoreSpec` governing *core*."""
+        if not (0 <= core.socket < len(self.sockets)):
+            raise ConfigurationError(f"no such socket: {core.socket}")
+        sock = self.sockets[core.socket]
+        if not (0 <= core.index < sock.cores):
+            raise ConfigurationError(f"no such core: {core}")
+        return sock.core
+
+    def peak_flops(self, frequency_hz: float) -> float:
+        """Aggregate machine peak flop/s at *frequency_hz*."""
+        return sum(
+            s.cores * s.core.peak_flops(frequency_hz) for s in self.sockets
+        )
+
+    @staticmethod
+    def single_socket(cores: int, core: CoreSpec | None = None) -> "MachineTopology":
+        """Convenience constructor for the common SMP case."""
+        return MachineTopology((SocketSpec(cores, core or CoreSpec()),))

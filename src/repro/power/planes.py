@@ -1,0 +1,110 @@
+"""Power planes (§III, Eq. 3).
+
+The paper defines a *power plane* as an individually measurable
+architectural power domain ("on-chip arithmetic utilities, on-chip data
+movement, on-chip memory operations, physical memory medium and
+peripheral devices").  Equation 3 aggregates per-plane readings:
+``EAvg_n = sum_{0..F} PPL_p``.
+
+This module names the planes (mirroring Intel RAPL's domains) and
+provides :class:`PlaneSet`, the per-machine registry of which planes can
+be measured — "all architectures shall have the ability to characterize
+at least one power plane" (§III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Mapping
+
+from ..util.errors import MeasurementError, ValidationError
+
+__all__ = ["Plane", "PlaneSet", "aggregate_planes"]
+
+
+class Plane(str, Enum):
+    """RAPL-style power domains."""
+
+    PACKAGE = "PACKAGE"  # whole socket: cores + uncore + static
+    PP0 = "PP0"          # power plane 0: the cores (paper measures this)
+    PP1 = "PP1"          # power plane 1: on-die graphics (unused here)
+    DRAM = "DRAM"        # memory DIMMs
+    PSYS = "PSYS"        # platform (extension: includes interconnect)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Planes the paper's PAPI/RAPL configuration reads (§V-C).
+PAPER_PLANES: tuple[Plane, ...] = (Plane.PACKAGE, Plane.PP0)
+
+
+@dataclass(frozen=True)
+class PlaneSet:
+    """The measurable planes of one platform.
+
+    ``F`` in the paper's Eq. 3 is ``len(plane_set)``; the set must never
+    be empty (every platform can characterize at least its incoming
+    power).
+    """
+
+    planes: tuple[Plane, ...] = (Plane.PACKAGE, Plane.PP0, Plane.DRAM)
+
+    def __post_init__(self) -> None:
+        if not self.planes:
+            raise ValidationError("a platform must expose at least one power plane")
+        if len(set(self.planes)) != len(self.planes):
+            raise ValidationError(f"duplicate planes in {self.planes}")
+
+    def __contains__(self, plane: Plane) -> bool:
+        return plane in self.planes
+
+    def __iter__(self):
+        return iter(self.planes)
+
+    def __len__(self) -> int:
+        return len(self.planes)
+
+    def require(self, plane: Plane) -> Plane:
+        """Return *plane* if measurable on this platform, else raise."""
+        if plane not in self.planes:
+            raise MeasurementError(
+                f"plane {plane} is not measurable on this platform "
+                f"(available: {[str(p) for p in self.planes]})"
+            )
+        return plane
+
+    @property
+    def independent(self) -> tuple[Plane, ...]:
+        """Planes whose energies are *additive* (no double counting).
+
+        RAPL's PACKAGE counter already contains PP0/PP1, so summing
+        PACKAGE + PP0 would double-count the cores.  The independent set
+        is PACKAGE (or PP0+PP1 if PACKAGE is absent) plus DRAM/PSYS.
+        """
+        if Plane.PACKAGE in self.planes:
+            keep = {Plane.PACKAGE, Plane.DRAM}
+        else:
+            keep = {Plane.PP0, Plane.PP1, Plane.DRAM}
+        return tuple(p for p in self.planes if p in keep)
+
+
+def aggregate_planes(readings: Mapping[Plane, float] | Mapping[str, float]) -> float:
+    """Eq. 3: total energy as the sum over the *independent* planes.
+
+    Accepts a mapping from plane (or plane name) to joules.  Planes
+    subsumed by PACKAGE (PP0/PP1) are excluded from the sum when PACKAGE
+    is present, preserving RAPL's containment semantics.
+    """
+    norm: dict[Plane, float] = {}
+    for key, value in readings.items():
+        plane = Plane(key) if not isinstance(key, Plane) else key
+        if value < 0:
+            raise ValidationError(f"negative energy for plane {plane}: {value}")
+        norm[plane] = float(value)
+    if not norm:
+        raise ValidationError("aggregate_planes needs at least one reading (F >= 1)")
+    if Plane.PACKAGE in norm:
+        return sum(v for p, v in norm.items() if p not in (Plane.PP0, Plane.PP1))
+    return sum(norm.values())

@@ -1,0 +1,94 @@
+"""RAPL reader: wrap-aware energy differencing over emulated MSRs.
+
+Sits between the raw :class:`repro.power.msr.MsrFile` and the PAPI-like
+component API, exactly like the kernel's RAPL driver sits between the
+MSRs and PAPI on the paper's platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util.errors import MeasurementError
+from .msr import ENERGY_STATUS_MASK, PLANE_MSR, MsrFile
+from .planes import Plane
+
+__all__ = ["RaplDomain", "RaplReader"]
+
+
+@dataclass(frozen=True)
+class RaplDomain:
+    """Metadata for one readable RAPL domain."""
+
+    plane: Plane
+    msr_address: int
+    description: str
+
+    @staticmethod
+    def for_plane(plane: Plane) -> "RaplDomain":
+        descriptions = {
+            Plane.PACKAGE: "entire processor package",
+            Plane.PP0: "power plane 0 (cores)",
+            Plane.PP1: "power plane 1 (graphics)",
+            Plane.DRAM: "memory DIMMs",
+        }
+        if plane not in PLANE_MSR:
+            raise MeasurementError(f"plane {plane} is not a RAPL domain")
+        return RaplDomain(plane, PLANE_MSR[plane], descriptions[plane])
+
+
+class RaplReader:
+    """Reads monotonically increasing joules out of wrapping counters.
+
+    The reader snapshots each counter on first use and afterwards applies
+    modular differencing: as long as it is polled at least once per
+    counter wrap (~262 kJ; hours of wall time at package power), readings
+    are exact.  This mirrors what PAPI's RAPL component does on real
+    hardware.
+    """
+
+    def __init__(self, msr: MsrFile, planes: tuple[Plane, ...] | None = None):
+        self.msr = msr
+        self.domains = tuple(
+            RaplDomain.for_plane(p)
+            for p in (planes or (Plane.PACKAGE, Plane.PP0, Plane.DRAM))
+        )
+        self._last_raw: dict[Plane, int] = {}
+        self._accumulated: dict[Plane, float] = {}
+        for dom in self.domains:
+            self._last_raw[dom.plane] = msr.read(dom.msr_address)
+            self._accumulated[dom.plane] = 0.0
+
+    def planes(self) -> tuple[Plane, ...]:
+        """Planes this reader tracks."""
+        return tuple(d.plane for d in self.domains)
+
+    def poll(self) -> None:
+        """Fold any counter movement since the last poll into the
+        accumulated totals, handling 32-bit wraparound."""
+        for dom in self.domains:
+            raw = self.msr.read(dom.msr_address)
+            delta = (raw - self._last_raw[dom.plane]) & ENERGY_STATUS_MASK
+            self._last_raw[dom.plane] = raw
+            self._accumulated[dom.plane] += delta * self.msr.joules_per_unit
+
+    def energy_joules(self, plane: Plane) -> float:
+        """Total joules observed on *plane* since reader creation.
+
+        Implicitly polls, so single-shot use is safe.
+        """
+        if plane not in self._accumulated:
+            raise MeasurementError(f"reader does not track plane {plane}")
+        self.poll()
+        return self._accumulated[plane]
+
+    def snapshot(self) -> dict[Plane, float]:
+        """Joules per tracked plane since reader creation."""
+        self.poll()
+        return dict(self._accumulated)
+
+    def reset(self) -> None:
+        """Zero the accumulated totals (counters keep running)."""
+        self.poll()
+        for plane in self._accumulated:
+            self._accumulated[plane] = 0.0

@@ -1,0 +1,135 @@
+"""Power traces: piecewise-constant watts per plane over a run.
+
+The engine emits one :class:`PowerSegment` per scheduling interval; a
+:class:`PowerTrace` aggregates them into the quantities the paper
+tabulates — average watts (Table III), peak watts ("the highest observed
+power for OpenBLAS was 56.4 watts"), and total joules — and can resample
+to a fixed period the way a PAPI polling loop would.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..util.errors import MeasurementError, ValidationError
+from .planes import Plane
+
+__all__ = ["PowerSegment", "PowerTrace"]
+
+
+@dataclass(frozen=True)
+class PowerSegment:
+    """Constant power over ``[t_start, t_end)``, per plane (watts)."""
+
+    t_start: float
+    t_end: float
+    watts: Mapping[Plane, float]
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValidationError(
+                f"segment ends before it starts: [{self.t_start}, {self.t_end})"
+            )
+        for plane, w in self.watts.items():
+            if w < 0:
+                raise ValidationError(f"negative power on {plane}: {w}")
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def energy(self, plane: Plane) -> float:
+        """Joules contributed by this segment on *plane*."""
+        return self.watts.get(plane, 0.0) * self.duration
+
+
+class PowerTrace:
+    """An ordered, gap-free sequence of power segments."""
+
+    def __init__(self, segments: Iterable[PowerSegment]):
+        self.segments: list[PowerSegment] = sorted(
+            segments, key=lambda s: s.t_start
+        )
+        for a, b in zip(self.segments, self.segments[1:]):
+            if b.t_start < a.t_end - 1e-12:
+                raise ValidationError(
+                    f"overlapping segments at t={b.t_start} (previous ends {a.t_end})"
+                )
+        self._starts = [s.t_start for s in self.segments]
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    @property
+    def t_start(self) -> float:
+        if not self.segments:
+            raise MeasurementError("empty trace has no start time")
+        return self.segments[0].t_start
+
+    @property
+    def t_end(self) -> float:
+        if not self.segments:
+            raise MeasurementError("empty trace has no end time")
+        return self.segments[-1].t_end
+
+    @property
+    def duration(self) -> float:
+        """Covered wall time (end - start)."""
+        return self.t_end - self.t_start if self.segments else 0.0
+
+    def planes(self) -> set[Plane]:
+        """All planes appearing anywhere in the trace."""
+        out: set[Plane] = set()
+        for seg in self.segments:
+            out.update(seg.watts.keys())
+        return out
+
+    def energy(self, plane: Plane) -> float:
+        """Total joules on *plane* over the whole trace."""
+        return sum(seg.energy(plane) for seg in self.segments)
+
+    def average_power(self, plane: Plane) -> float:
+        """Time-averaged watts on *plane* — the paper's ``EAvg``."""
+        if self.duration <= 0:
+            raise MeasurementError("cannot average power over a zero-length trace")
+        return self.energy(plane) / self.duration
+
+    def peak_power(self, plane: Plane) -> float:
+        """Highest instantaneous watts on *plane*."""
+        if not self.segments:
+            raise MeasurementError("empty trace has no peak")
+        return max(seg.watts.get(plane, 0.0) for seg in self.segments)
+
+    def power_at(self, t: float, plane: Plane) -> float:
+        """Instantaneous watts at time *t* (0 outside the trace)."""
+        idx = bisect_right(self._starts, t) - 1
+        if idx < 0:
+            return 0.0
+        seg = self.segments[idx]
+        if t >= seg.t_end:
+            return 0.0
+        return seg.watts.get(plane, 0.0)
+
+    def resample(self, period: float, plane: Plane) -> list[tuple[float, float]]:
+        """Sample watts every *period* seconds, as a PAPI polling loop
+        would.  Returns ``[(t, watts), ...]`` covering the trace."""
+        if period <= 0:
+            raise ValidationError(f"period must be > 0, got {period}")
+        if not self.segments:
+            return []
+        samples = []
+        t = self.t_start
+        while t < self.t_end:
+            samples.append((t, self.power_at(t, plane)))
+            t += period
+        return samples
+
+    @staticmethod
+    def concat(traces: Sequence["PowerTrace"]) -> "PowerTrace":
+        """Concatenate non-overlapping traces into one."""
+        segs: list[PowerSegment] = []
+        for tr in traces:
+            segs.extend(tr.segments)
+        return PowerTrace(segs)

@@ -1,0 +1,103 @@
+"""Dependency-free ASCII line charts.
+
+The paper's figures are simple line charts (watts vs. threads, slowdown
+vs. threads, S vs. threads with a linear threshold).  This renderer
+plots multiple series on a character grid so the benchmark harness and
+the examples can show the figure *shapes* directly in a terminal or a
+log file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..util.errors import ValidationError
+
+__all__ = ["AsciiChart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+@dataclass
+class AsciiChart:
+    """Multi-series scatter/line chart on a character canvas.
+
+    Parameters
+    ----------
+    width / height:
+        Canvas size in characters (plot area, excluding axes/labels).
+    """
+
+    width: int = 60
+    height: int = 18
+
+    def render(
+        self,
+        series: Mapping[str, Sequence[tuple[float, float]]],
+        title: str = "",
+        xlabel: str = "",
+        ylabel: str = "",
+    ) -> str:
+        """Render *series* (name -> [(x, y), ...]) to a string."""
+        if not series:
+            raise ValidationError("chart needs at least one series")
+        points = [(x, y) for pts in series.values() for x, y in pts]
+        if not points:
+            raise ValidationError("chart needs at least one point")
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        y_lo = min(y_lo, 0.0) if y_lo > 0 else y_lo
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def place(x: float, y: float, marker: str) -> None:
+            col = int(round((x - x_lo) / x_span * (self.width - 1)))
+            row = int(round((y - y_lo) / y_span * (self.height - 1)))
+            grid[self.height - 1 - row][col] = marker
+
+        legend = []
+        for idx, (name, pts) in enumerate(series.items()):
+            marker = _MARKERS[idx % len(_MARKERS)]
+            legend.append(f"  {marker} {name}")
+            ordered = sorted(pts)
+            # Linear interpolation between consecutive points for a
+            # line-chart feel.
+            for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+                steps = max(
+                    2,
+                    int(abs(x1 - x0) / x_span * self.width)
+                    + int(abs(y1 - y0) / y_span * self.height),
+                )
+                for i in range(steps + 1):
+                    t = i / steps
+                    place(x0 + t * (x1 - x0), y0 + t * (y1 - y0), marker)
+            for x, y in ordered:
+                place(x, y, marker)
+
+        lines = []
+        if title:
+            lines.append(title.center(self.width + 10))
+        y_top = f"{y_hi:.3g}"
+        y_bot = f"{y_lo:.3g}"
+        label_w = max(len(y_top), len(y_bot)) + 1
+        for r, row in enumerate(grid):
+            prefix = ""
+            if r == 0:
+                prefix = y_top
+            elif r == self.height - 1:
+                prefix = y_bot
+            lines.append(prefix.rjust(label_w) + " |" + "".join(row))
+        lines.append(" " * label_w + " +" + "-" * self.width)
+        x_axis = f"{x_lo:.3g}".ljust(self.width - 8) + f"{x_hi:.3g}".rjust(8)
+        lines.append(" " * (label_w + 2) + x_axis)
+        if xlabel:
+            lines.append(" " * (label_w + 2) + xlabel.center(self.width))
+        if ylabel:
+            lines.insert(1 if title else 0, f"[y: {ylabel}]")
+        lines.extend(legend)
+        return "\n".join(lines)

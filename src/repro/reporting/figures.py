@@ -1,0 +1,158 @@
+"""Figure objects for the paper's seven figures.
+
+A :class:`Figure` couples named series with axis metadata and renders
+through :class:`~repro.reporting.ascii.AsciiChart`.  Builders exist for
+every figure in the evaluation plus the Fig. 1 schematic, which is
+synthetic (it illustrates the ideal/superlinear regions rather than
+plotting data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.report import (
+    fig3_slowdown_series,
+    fig456_power_series,
+    fig7_scaling_series,
+)
+from ..core.study import StudyResult
+from ..util.errors import ValidationError
+from .ascii import AsciiChart
+
+__all__ = [
+    "Figure",
+    "fig1_schematic",
+    "fig2_traversal",
+    "fig3_figure",
+    "fig4_figure",
+    "fig5_figure",
+    "fig6_figure",
+    "fig7_figure",
+]
+
+
+@dataclass
+class Figure:
+    """A renderable chart: series plus axis labels."""
+
+    name: str
+    title: str
+    series: dict[str, list[tuple[float, float]]]
+    xlabel: str = ""
+    ylabel: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise ValidationError(f"figure {self.name} has no series")
+
+    def render(self, width: int = 60, height: int = 18) -> str:
+        """Render to an ASCII chart string."""
+        chart = AsciiChart(width, height)
+        return chart.render(self.series, self.title, self.xlabel, self.ylabel)
+
+    def series_values(self, name: str) -> list[tuple[float, float]]:
+        if name not in self.series:
+            raise ValidationError(
+                f"figure {self.name} has no series {name!r}; "
+                f"available: {sorted(self.series)}"
+            )
+        return self.series[name]
+
+
+def fig1_schematic(max_parallelism: int = 8) -> Figure:
+    """Fig. 1: ideal vs. superlinear energy-performance scaling.
+
+    Synthetic illustration: the linear threshold, an ideal (sub-linear)
+    curve and a superlinear curve, as the paper draws them.
+    """
+    if max_parallelism < 2:
+        raise ValidationError("schematic needs max_parallelism >= 2")
+    ps = list(range(1, max_parallelism + 1))
+    return Figure(
+        name="fig1",
+        title="Fig. 1: ideal and superlinear energy performance scaling",
+        series={
+            "linear threshold": [(float(p), float(p)) for p in ps],
+            "ideal": [(float(p), p**0.75) for p in ps],
+            "superlinear": [(float(p), p**1.35) for p in ps],
+        },
+        xlabel="degree of parallelism",
+        ylabel="S",
+    )
+
+
+def fig2_traversal(depth: int = 2) -> str:
+    """Fig. 2: depth-first vs breadth-first CAPS tree traversal.
+
+    A schematic (like the paper's): the DFS side walks the seven
+    sub-problems of each node in sequence with all processors on each;
+    the BFS side fans the seven sub-problems out across processor
+    groups.  Rendered as ASCII for terminals and logs.
+    """
+    if depth < 1:
+        raise ValidationError("traversal schematic needs depth >= 1")
+    lines = ["Fig. 2: depth-first (DFS) and breadth-first (BFS) CAPS traversal", ""]
+    lines.append("DFS step: all P workers, sub-problems in sequence")
+    lines.append("  [n x n]")
+    indent = "  "
+    for level in range(1, depth + 1):
+        seq = " -> ".join(f"M{i}" for i in range(1, 8))
+        lines.append(f"{indent * level}+- {seq}   (each on all P workers)")
+    lines.append("")
+    lines.append("BFS step: sub-problems concurrent on worker groups (P/7 each)")
+    lines.append("  [n x n]")
+    branches = "   ".join(f"M{i}" for i in range(1, 8))
+    lines.append(f"{indent}+-[{branches}]   (7 untied tasks, extra buffers)")
+    lines.append("")
+    lines.append("Algorithm 2: if DEPTH < CUTOFF_DEPTH: BFS else DFS")
+    return "\n".join(lines)
+
+
+def fig3_figure(study: StudyResult) -> Figure:
+    """Fig. 3: Strassen/CAPS slowdown scaling."""
+    return Figure(
+        name="fig3",
+        title="Fig. 3: Strassen slowdown scaling",
+        series=fig3_slowdown_series(study),
+        xlabel="threads",
+        ylabel="slowdown vs OpenBLAS",
+    )
+
+
+def _power_figure(study: StudyResult, alg: str, fig_name: str, fig_no: int) -> Figure:
+    display = study.display_names.get(alg, alg)
+    return Figure(
+        name=fig_name,
+        title=f"Fig. {fig_no}: {display} power scaling",
+        series=fig456_power_series(study, alg),
+        xlabel="threads",
+        ylabel="package watts",
+    )
+
+
+def fig4_figure(study: StudyResult) -> Figure:
+    """Fig. 4: OpenBLAS power scaling."""
+    return _power_figure(study, "openblas", "fig4", 4)
+
+
+def fig5_figure(study: StudyResult) -> Figure:
+    """Fig. 5: Strassen power scaling."""
+    return _power_figure(study, "strassen", "fig5", 5)
+
+
+def fig6_figure(study: StudyResult) -> Figure:
+    """Fig. 6: CAPS power scaling."""
+    return _power_figure(study, "caps", "fig6", 6)
+
+
+def fig7_figure(study: StudyResult) -> Figure:
+    """Fig. 7: energy performance scaling vs the linear threshold."""
+    return Figure(
+        name="fig7",
+        title="Fig. 7: energy performance scaling",
+        series=fig7_scaling_series(study),
+        xlabel="threads",
+        ylabel="S = EP_p / EP_1",
+    )

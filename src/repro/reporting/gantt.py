@@ -1,0 +1,37 @@
+"""ASCII Gantt rendering of schedules.
+
+Visualizes per-core busy/idle structure — useful for seeing *why*
+Strassen's serialized additions starve cores while CAPS's work-shared
+loops keep them busy.
+"""
+
+from __future__ import annotations
+
+from ..runtime.scheduler import Schedule
+from ..util.errors import ValidationError
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(schedule: Schedule, width: int = 72) -> str:
+    """Render one row per core; ``#`` marks busy time, ``.`` idle.
+
+    Each column spans ``makespan / width`` seconds; a cell is busy when
+    the core executes a task at the column's midpoint.
+    """
+    if width < 4:
+        raise ValidationError("gantt width must be >= 4")
+    makespan = schedule.makespan
+    if makespan <= 0:
+        return "(empty schedule)"
+    lines = [
+        f"schedule {schedule.graph_name!r}: {schedule.threads} threads, "
+        f"makespan {makespan:.4g}s, util {schedule.stats.utilization:.0%}"
+    ]
+    for tl in schedule.timelines:
+        cells = []
+        for col in range(width):
+            t = (col + 0.5) / width * makespan
+            cells.append("#" if tl.is_busy_at(t) else ".")
+        lines.append(f"core {tl.core}: " + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Chrome trace-event export.
+
+Serializes a :class:`~repro.runtime.scheduler.Schedule` (and optionally
+its power trace) into the Chrome/Perfetto trace-event JSON format, so
+simulated schedules can be inspected in ``chrome://tracing`` /
+``ui.perfetto.dev`` exactly like a real profiler capture: one row per
+core, one slice per task, and a counter track for package watts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..power.planes import Plane
+from ..power.sampling import PowerTrace
+from ..runtime.scheduler import Schedule
+from ..util.errors import ValidationError
+
+__all__ = ["schedule_to_trace_events", "write_chrome_trace"]
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def schedule_to_trace_events(
+    schedule: Schedule, power: PowerTrace | None = None, power_samples: int = 64
+) -> list[dict]:
+    """The schedule as a list of trace-event dicts.
+
+    Complete events (``ph: "X"``) for tasks, instant events for joins,
+    and an optional ``C`` counter track sampling package watts.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": f"repro: {schedule.graph_name}"},
+        }
+    ]
+    for core in range(schedule.threads):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": core,
+                "args": {"name": f"core {core}"},
+            }
+        )
+    for rec in schedule.records:
+        if rec.core < 0:
+            events.append(
+                {
+                    "name": rec.name,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": rec.start * _US,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": rec.name,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": rec.core,
+                    "ts": rec.start * _US,
+                    "dur": max(rec.duration * _US, 0.001),
+                    "args": {"tid": rec.tid},
+                }
+            )
+    if power is not None and len(power):
+        if power_samples < 1:
+            raise ValidationError("power_samples must be >= 1")
+        period = max(power.duration / power_samples, 1e-12)
+        for t, watts in power.resample(period, Plane.PACKAGE):
+            events.append(
+                {
+                    "name": "package watts",
+                    "ph": "C",
+                    "pid": 0,
+                    "ts": t * _US,
+                    "args": {"W": round(watts, 3)},
+                }
+            )
+    return events
+
+
+def write_chrome_trace(
+    schedule: Schedule,
+    path: str | Path,
+    power: PowerTrace | None = None,
+) -> Path:
+    """Write the schedule as a ``chrome://tracing`` JSON file."""
+    path = Path(path)
+    events = schedule_to_trace_events(schedule, power)
+    path.write_text(json.dumps({"traceEvents": events}, indent=1) + "\n")
+    return path

@@ -1,0 +1,34 @@
+"""Simulated OpenMP-like task runtime.
+
+Task costs, task graphs, an OpenMP-flavoured construction API and the
+discrete-event scheduler with shared L3/DRAM bandwidth contention.
+"""
+
+from .cost import ZERO_COST, TaskCost
+from .openmp import OpenMP, omp_num_threads
+from .scheduler import (
+    ActivityInterval,
+    Schedule,
+    SchedulePolicy,
+    Scheduler,
+    TaskRecord,
+)
+from .stats import RuntimeStats
+from .task import Task, TaskGraph
+from .timeline import CoreTimeline
+
+__all__ = [
+    "ActivityInterval",
+    "CoreTimeline",
+    "OpenMP",
+    "RuntimeStats",
+    "Schedule",
+    "SchedulePolicy",
+    "Scheduler",
+    "Task",
+    "TaskCost",
+    "TaskGraph",
+    "TaskRecord",
+    "ZERO_COST",
+    "omp_num_threads",
+]

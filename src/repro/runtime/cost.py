@@ -1,0 +1,122 @@
+"""Task cost vectors.
+
+A :class:`TaskCost` describes one task's resource demands in the five
+dimensions the machine model prices:
+
+* ``flops`` — double-precision flops retired, executed at
+  ``efficiency * core_peak`` flop/s on whichever core runs the task;
+* ``bytes_l1`` / ``bytes_l2`` — *fill* traffic into the private caches
+  (i.e. L1/L2 miss traffic), limited by per-core cache bandwidth;
+* ``bytes_l3`` — fill traffic into the shared LLC, contended by all
+  running tasks;
+* ``bytes_dram`` — memory-channel traffic, contended by all running
+  tasks (the single-DIMM bottleneck of the paper's platform).
+
+A task completes when **all** dimensions are exhausted (full
+compute/transfer overlap, as modern OoO cores achieve on streaming
+kernels); the engine charges energy per dimension as it progresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..util.validation import require_fraction, require_nonnegative
+
+__all__ = ["TaskCost", "ZERO_COST"]
+
+
+@dataclass(frozen=True)
+class TaskCost:
+    """Resource demands of one task.
+
+    Attributes
+    ----------
+    flops:
+        DP flops retired by the task.
+    efficiency:
+        Fraction of a core's peak flop rate this task's compute kernel
+        sustains (microkernel quality: ~0.92 for a Goto-style packed
+        kernel, ~0.4 for the BOTS unrolled leaf solver).
+    bytes_l1, bytes_l2:
+        Private-cache fill traffic (bytes).
+    bytes_l3:
+        Shared-LLC fill traffic (bytes).
+    bytes_dram:
+        Memory-channel traffic (bytes).
+    """
+
+    flops: float = 0.0
+    efficiency: float = 1.0
+    bytes_l1: float = 0.0
+    bytes_l2: float = 0.0
+    bytes_l3: float = 0.0
+    bytes_dram: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_nonnegative(self.flops, "flops")
+        require_fraction(self.efficiency, "efficiency")
+        for name in ("bytes_l1", "bytes_l2", "bytes_l3", "bytes_dram"):
+            require_nonnegative(getattr(self, name), name)
+
+    @property
+    def is_zero(self) -> bool:
+        """True for pure synchronization tasks (joins/barriers)."""
+        return (
+            self.flops == 0
+            and self.bytes_l1 == 0
+            and self.bytes_l2 == 0
+            and self.bytes_l3 == 0
+            and self.bytes_dram == 0
+        )
+
+    @property
+    def total_bytes(self) -> float:
+        """All traffic summed across levels (reporting only)."""
+        return self.bytes_l1 + self.bytes_l2 + self.bytes_l3 + self.bytes_dram
+
+    def arithmetic_intensity(self) -> float:
+        """Flop per DRAM byte (``inf`` for cache-resident tasks)."""
+        if self.bytes_dram == 0:
+            return float("inf")
+        return self.flops / self.bytes_dram
+
+    def __add__(self, other: "TaskCost") -> "TaskCost":
+        """Merge two costs; the combined efficiency is the flop-weighted
+        harmonic combination so that summed compute time is preserved."""
+        flops = self.flops + other.flops
+        if flops > 0:
+            time_units = (
+                self.flops / self.efficiency + other.flops / other.efficiency
+            )
+            eff = flops / time_units if time_units > 0 else 1.0
+        else:
+            eff = 1.0
+        return TaskCost(
+            flops=flops,
+            efficiency=min(1.0, eff),
+            bytes_l1=self.bytes_l1 + other.bytes_l1,
+            bytes_l2=self.bytes_l2 + other.bytes_l2,
+            bytes_l3=self.bytes_l3 + other.bytes_l3,
+            bytes_dram=self.bytes_dram + other.bytes_dram,
+        )
+
+    def scaled(self, factor: float) -> "TaskCost":
+        """All demands multiplied by *factor* (chunking a parallel loop)."""
+        require_nonnegative(factor, "factor")
+        return TaskCost(
+            flops=self.flops * factor,
+            efficiency=self.efficiency,
+            bytes_l1=self.bytes_l1 * factor,
+            bytes_l2=self.bytes_l2 * factor,
+            bytes_l3=self.bytes_l3 * factor,
+            bytes_dram=self.bytes_dram * factor,
+        )
+
+    def with_efficiency(self, efficiency: float) -> "TaskCost":
+        """Copy with a different microkernel efficiency."""
+        return replace(self, efficiency=efficiency)
+
+
+#: Shared zero-cost instance for joins and barriers.
+ZERO_COST = TaskCost()

@@ -1,0 +1,164 @@
+"""OpenMP-like task-graph construction API.
+
+The paper's Strassen is "implemented using untied OpenMP tasks" and its
+CAPS DFS phase "using OpenMP work sharing" (§IV-C).  This module gives
+the algorithm implementations the same vocabulary — ``task``,
+``taskwait``, ``parallel_for``, ``sections``, ``barrier`` — but instead
+of executing, each construct *appends nodes to a* :class:`TaskGraph`
+that the simulated scheduler then runs.
+
+Example::
+
+    omp = OpenMP("strassen", num_threads=4)
+    pre  = omp.task("pre-add", add_cost, compute=do_adds)
+    muls = [omp.task(f"mul{i}", mul_cost, deps=[pre]) for i in range(7)]
+    done = omp.taskwait(muls)
+    post = omp.task("post-add", add_cost, deps=[done])
+    schedule = Scheduler(machine, threads=4).run(omp.graph)
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..util.errors import ConfigurationError
+from ..util.validation import require_positive
+from .cost import ZERO_COST, TaskCost
+from .task import Task, TaskGraph
+
+__all__ = ["OpenMP", "omp_num_threads"]
+
+
+def omp_num_threads(default: int = 1, environ: dict | None = None) -> int:
+    """Thread count from ``OMP_NUM_THREADS``, as the paper's §VI-A runs
+    were configured ("thread counts were instantiated using the
+    OMP_NUM_THREADS environment variable")."""
+    env = environ if environ is not None else os.environ
+    raw = env.get("OMP_NUM_THREADS")
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(f"OMP_NUM_THREADS={raw!r} is not an integer") from exc
+    require_positive(value, "OMP_NUM_THREADS")
+    return value
+
+
+class OpenMP:
+    """Region builder producing a :class:`TaskGraph`.
+
+    Parameters
+    ----------
+    name:
+        Name of the underlying graph.
+    num_threads:
+        The parallel region's width.  ``parallel_for`` splits iteration
+        spaces into this many chunks (static schedule), mirroring OpenMP
+        work sharing.
+    """
+
+    def __init__(self, name: str, num_threads: int = 1):
+        require_positive(num_threads, "num_threads")
+        self.graph = TaskGraph(name)
+        self.num_threads = num_threads
+
+    # ---- tasking -------------------------------------------------------
+
+    def task(
+        self,
+        name: str,
+        cost: TaskCost = ZERO_COST,
+        deps: Iterable[int | Task] = (),
+        compute: Callable[[], None] | None = None,
+        untied: bool = True,
+        created_by: Task | None = None,
+    ) -> Task:
+        """``#pragma omp task`` — one deferred unit of work."""
+        return self.graph.add(name, cost, deps, compute, untied, created_by)
+
+    def taskwait(self, tasks: Iterable[int | Task], name: str = "taskwait") -> Task:
+        """``#pragma omp taskwait`` — zero-cost join over *tasks*."""
+        return self.graph.join(name, tasks)
+
+    def barrier(self, name: str = "barrier") -> Task:
+        """Implicit/explicit barrier: join over every current sink."""
+        sinks = self.graph.sinks()
+        return self.graph.join(name, sinks)
+
+    # ---- work sharing ----------------------------------------------------
+
+    def parallel_for(
+        self,
+        name: str,
+        total_cost: TaskCost,
+        deps: Iterable[int | Task] = (),
+        chunks: int | None = None,
+        chunk_computes: Sequence[Callable[[], None] | None] | None = None,
+        join: bool = True,
+    ) -> Task | list[Task]:
+        """``#pragma omp parallel for`` with a static schedule.
+
+        *total_cost* is divided evenly over ``chunks`` tasks (default:
+        one per thread).  When *chunk_computes* is given it must have one
+        closure per chunk.  Returns the join task (default) or the chunk
+        list when ``join=False``.
+        """
+        k = chunks if chunks is not None else self.num_threads
+        require_positive(k, "chunks")
+        if chunk_computes is not None and len(chunk_computes) != k:
+            raise ConfigurationError(
+                f"parallel_for {name!r}: {len(chunk_computes)} computes for {k} chunks"
+            )
+        deps = list(deps)
+        per_chunk = total_cost.scaled(1.0 / k)
+        tasks = [
+            self.graph.add(
+                f"{name}[{i}]",
+                per_chunk,
+                deps,
+                chunk_computes[i] if chunk_computes else None,
+            )
+            for i in range(k)
+        ]
+        if not join:
+            return tasks
+        return self.graph.join(f"{name}/join", tasks)
+
+    def sections(
+        self,
+        name: str,
+        section_costs: Sequence[TaskCost],
+        deps: Iterable[int | Task] = (),
+        computes: Sequence[Callable[[], None] | None] | None = None,
+    ) -> Task:
+        """``#pragma omp sections`` — heterogeneous parallel blocks with
+        an implicit join."""
+        if computes is not None and len(computes) != len(section_costs):
+            raise ConfigurationError(
+                f"sections {name!r}: computes/costs length mismatch"
+            )
+        deps = list(deps)
+        tasks = [
+            self.graph.add(
+                f"{name}/sec{i}",
+                cost,
+                deps,
+                computes[i] if computes else None,
+            )
+            for i, cost in enumerate(section_costs)
+        ]
+        return self.graph.join(f"{name}/join", tasks)
+
+    def single(
+        self,
+        name: str,
+        cost: TaskCost,
+        deps: Iterable[int | Task] = (),
+        compute: Callable[[], None] | None = None,
+    ) -> Task:
+        """``#pragma omp single`` — one thread executes, others wait (a
+        plain sequential task in the graph model)."""
+        return self.graph.add(name, cost, deps, compute)

@@ -1,0 +1,75 @@
+"""Aggregate runtime statistics for one scheduled run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..util.errors import ValidationError
+
+__all__ = ["RuntimeStats"]
+
+
+@dataclass(frozen=True)
+class RuntimeStats:
+    """Summary of one schedule.
+
+    Attributes
+    ----------
+    makespan:
+        Simulated wall time of the run (the paper's ``T_p``).
+    busy_core_seconds:
+        Integral of active cores over time.
+    threads:
+        Worker count the run used.
+    task_count:
+        Tasks executed.
+    avg_parallelism:
+        busy_core_seconds / makespan — average active cores.
+    utilization:
+        avg_parallelism / threads.
+    imbalance:
+        max core busy time / mean core busy time (1.0 = perfectly even).
+    migrations / steals:
+        Tasks that ran away from their creator's core / tied tasks that
+        could not get their preferred core.
+    """
+
+    makespan: float
+    busy_core_seconds: float
+    threads: int
+    task_count: int
+    avg_parallelism: float
+    utilization: float
+    imbalance: float
+    migrations: int
+    steals: int
+
+    @staticmethod
+    def from_run(
+        makespan: float,
+        timelines: Sequence,
+        task_count: int,
+        threads: int,
+        migrations: int = 0,
+        steals: int = 0,
+    ) -> "RuntimeStats":
+        """Build stats from per-core timelines."""
+        if threads < 1:
+            raise ValidationError(f"threads must be >= 1, got {threads}")
+        busy = [tl.busy_time for tl in timelines]
+        total_busy = sum(busy)
+        avg_par = total_busy / makespan if makespan > 0 else 0.0
+        mean_busy = total_busy / len(busy) if busy else 0.0
+        imbalance = (max(busy) / mean_busy) if mean_busy > 0 else 1.0
+        return RuntimeStats(
+            makespan=makespan,
+            busy_core_seconds=total_busy,
+            threads=threads,
+            task_count=task_count,
+            avg_parallelism=avg_par,
+            utilization=avg_par / threads,
+            imbalance=imbalance,
+            migrations=migrations,
+            steals=steals,
+        )

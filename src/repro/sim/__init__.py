@@ -1,0 +1,34 @@
+"""Execution engine and measurement layer.
+
+Ties the machine model, task runtime and power substrate together:
+schedules a task graph, integrates the energy model over the resulting
+activity, feeds the emulated RAPL counters and returns the quantities
+the paper's evaluation records.
+"""
+
+from .attribution import TaskEnergy, attribute_energy, attribution_table
+from .calibration import (
+    PAPER_TARGETS,
+    CalibrationResult,
+    PaperTargets,
+    calibrate,
+    score_study,
+)
+from .engine import Engine
+from .measurement import RunMeasurement
+from .noise import NoiseModel, NoisyEngine
+
+__all__ = [
+    "CalibrationResult",
+    "TaskEnergy",
+    "attribute_energy",
+    "attribution_table",
+    "Engine",
+    "NoiseModel",
+    "NoisyEngine",
+    "PAPER_TARGETS",
+    "PaperTargets",
+    "RunMeasurement",
+    "calibrate",
+    "score_study",
+]

@@ -1,0 +1,110 @@
+"""Run measurements: what the paper's instrumented driver records.
+
+A :class:`RunMeasurement` is the simulated equivalent of one row of the
+paper's "48 final result sets of algorithmic timing and performance
+data" (§VI-A): elapsed time, per-plane energy, average and peak watts,
+plus the work tallies and runtime statistics the analysis sections use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..machine.energy import PlaneEnergy
+from ..power.planes import Plane
+from ..power.sampling import PowerTrace
+from ..runtime.stats import RuntimeStats
+from ..util.errors import MeasurementError, SimulationError
+from ..util.units import fmt_joules, fmt_seconds, fmt_watts
+
+__all__ = ["RunMeasurement"]
+
+
+@dataclass(frozen=True)
+class RunMeasurement:
+    """One (algorithm, size, threads) execution's observables."""
+
+    label: str
+    threads: int
+    elapsed_s: float
+    energy: PlaneEnergy
+    trace: PowerTrace
+    flops: float
+    bytes_dram: float
+    stats: RuntimeStats
+
+    def energy_j(self, plane: Plane = Plane.PACKAGE) -> float:
+        """Joules on *plane* over the run."""
+        if plane is Plane.PACKAGE:
+            return self.energy.package
+        if plane is Plane.PP0:
+            return self.energy.pp0
+        if plane is Plane.DRAM:
+            return self.energy.dram
+        raise MeasurementError(f"plane {plane} not recorded")
+
+    def avg_power_w(self, plane: Plane = Plane.PACKAGE) -> float:
+        """Time-averaged watts on *plane* — the paper's ``EAvg``.
+
+        The paper's Table III/IV figures are package-plane averages.
+        """
+        if self.elapsed_s <= 0:
+            raise MeasurementError("zero-length run has no average power")
+        return self.energy_j(plane) / self.elapsed_s
+
+    def peak_power_w(self, plane: Plane = Plane.PACKAGE) -> float:
+        """Highest instantaneous watts over the run."""
+        return self.trace.peak_power(plane)
+
+    @property
+    def gflops(self) -> float:
+        """Achieved Gflop/s."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.flops / self.elapsed_s / 1e9
+
+    @property
+    def total_energy_j(self) -> float:
+        """Wall energy: package + DRAM (package already contains PP0)."""
+        return self.energy.total
+
+    def check_invariants(self, machine=None) -> None:
+        """Sanity conditions every physical run must satisfy (DESIGN §5).
+
+        Raises :class:`SimulationError` on violation.
+        """
+        if self.elapsed_s < 0:
+            raise SimulationError("negative elapsed time")
+        if self.energy.pp0 > self.energy.package + 1e-9:
+            raise SimulationError(
+                f"PP0 energy {self.energy.pp0} exceeds package {self.energy.package}"
+            )
+        if self.stats.busy_core_seconds > self.threads * self.elapsed_s + 1e-9:
+            raise SimulationError(
+                "busy core-seconds exceed threads x makespan: "
+                f"{self.stats.busy_core_seconds} > "
+                f"{self.threads} x {self.elapsed_s}"
+            )
+        if machine is not None and self.elapsed_s > 0:
+            static = machine.energy.package_static_w * self.elapsed_s
+            if self.energy.package + 1e-9 < static:
+                raise SimulationError(
+                    f"package energy {self.energy.package} below static floor {static}"
+                )
+            trace_e = self.trace.energy(Plane.PACKAGE)
+            if abs(trace_e - self.energy.package) > 1e-6 * max(1.0, self.energy.package):
+                raise SimulationError(
+                    f"trace energy {trace_e} disagrees with accounted "
+                    f"{self.energy.package}"
+                )
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.label}: T={fmt_seconds(self.elapsed_s)} "
+            f"E_pkg={fmt_joules(self.energy.package)} "
+            f"avgW={fmt_watts(self.avg_power_w())} "
+            f"peakW={fmt_watts(self.peak_power_w())} "
+            f"{self.gflops:.2f} Gflop/s"
+        )

@@ -1,0 +1,81 @@
+"""Synthetic sparse-matrix generators.
+
+Structured patterns standing in for the application matrices the
+paper's §VIII study would use: banded (PDE stencils), uniform random
+(graphs), and power-law row degrees (scale-free networks — the
+adversarial case for ELL padding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.errors import ValidationError
+from ..util.validation import require_in_range, require_positive
+from .formats import COOMatrix
+
+__all__ = ["banded", "uniform_random", "power_law"]
+
+
+def banded(n: int, half_bandwidth: int, seed: int = 0) -> COOMatrix:
+    """An ``n x n`` band matrix with all diagonals in
+    ``[-half_bandwidth, +half_bandwidth]`` populated."""
+    require_positive(n, "n")
+    if not (0 <= half_bandwidth < n):
+        raise ValidationError(f"half_bandwidth must be in [0, {n}), got {half_bandwidth}")
+    rng = np.random.default_rng(seed)
+    rows, cols = [], []
+    for offset in range(-half_bandwidth, half_bandwidth + 1):
+        idx = np.arange(max(0, -offset), min(n, n - offset))
+        rows.append(idx)
+        cols.append(idx + offset)
+    rows = np.concatenate(rows)
+    cols = np.concatenate(cols)
+    values = rng.uniform(-1.0, 1.0, size=len(rows))
+    return COOMatrix((n, n), rows, cols, values)
+
+
+def uniform_random(n: int, density: float, seed: int = 0) -> COOMatrix:
+    """An ``n x n`` matrix with ~``density * n^2`` uniformly placed
+    entries (diagonal always present, so no empty rows)."""
+    require_positive(n, "n")
+    require_in_range(density, 0.0, 1.0, "density")
+    rng = np.random.default_rng(seed)
+    target = int(density * n * n)
+    # Sample with replacement then dedupe; top up the diagonal.
+    flat = rng.integers(0, n * n, size=max(target, n))
+    flat = np.unique(flat)
+    rows = flat // n
+    cols = flat % n
+    diag = np.arange(n)
+    present = set(zip(rows.tolist(), cols.tolist()))
+    missing = [i for i in range(n) if (i, i) not in present]
+    rows = np.concatenate([rows, diag[missing]]) if missing else rows
+    cols = np.concatenate([cols, diag[missing]]) if missing else cols
+    values = rng.uniform(-1.0, 1.0, size=len(rows))
+    return COOMatrix((n, n), rows, cols, values)
+
+
+def power_law(n: int, avg_degree: float, alpha: float = 2.0, seed: int = 0) -> COOMatrix:
+    """Rows with power-law degrees (exponent *alpha*), diagonal always
+    present — a highly skewed pattern that defeats ELL padding."""
+    require_positive(n, "n")
+    require_positive(avg_degree, "avg_degree")
+    if alpha <= 1.0:
+        raise ValidationError(f"alpha must exceed 1, got {alpha}")
+    rng = np.random.default_rng(seed)
+    raw = rng.pareto(alpha - 1.0, size=n) + 1.0
+    degrees = np.minimum(
+        n, np.maximum(1, (raw / raw.mean() * avg_degree).astype(np.int64))
+    )
+    rows, cols = [], []
+    for i, d in enumerate(degrees):
+        picks = rng.choice(n, size=int(d), replace=False)
+        if i not in picks:
+            picks[0] = i
+        rows.append(np.full(len(picks), i))
+        cols.append(picks)
+    rows = np.concatenate(rows)
+    cols = np.concatenate(cols)
+    values = rng.uniform(-1.0, 1.0, size=len(rows))
+    return COOMatrix((n, n), rows, cols, values)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from simulation
+failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ValidationError",
+    "SchedulingError",
+    "SimulationError",
+    "MeasurementError",
+    "CalibrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, runtime or study was configured with invalid parameters."""
+
+
+class ValidationError(ReproError):
+    """An input value failed validation (shape, range, type)."""
+
+
+class SchedulingError(ReproError):
+    """The task scheduler detected an inconsistency (cycle, orphan, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an impossible state."""
+
+
+class MeasurementError(ReproError):
+    """A power/energy measurement facility was misused (e.g. reading a
+    counter that was never started)."""
+
+
+class CalibrationError(ReproError):
+    """Energy-model calibration failed to converge or received
+    inconsistent targets."""

@@ -1,0 +1,94 @@
+"""Plain-text table rendering used by reports, examples and benchmarks.
+
+The paper presents its evaluation as small dense tables (Tables II-IV);
+:class:`TextTable` renders equivalent tables as aligned ASCII or GitHub
+markdown without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from .errors import ValidationError
+
+__all__ = ["TextTable", "format_cell"]
+
+
+def format_cell(value, ndigits: int = 3) -> str:
+    """Format one table cell: floats get fixed precision, rest ``str()``."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.001:
+            return f"{value:.{ndigits}g}"
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+@dataclass
+class TextTable:
+    """A small column-aligned table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    ndigits:
+        Precision used when formatting float cells.
+    """
+
+    headers: Sequence[str]
+    ndigits: int = 3
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> "TextTable":
+        """Append a row; must match the header width."""
+        if len(cells) != len(self.headers):
+            raise ValidationError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([format_cell(c, self.ndigits) for c in cells])
+        return self
+
+    def extend(self, rows: Iterable[Sequence]) -> "TextTable":
+        """Append many rows."""
+        for row in rows:
+            self.add_row(*row)
+        return self
+
+    def _widths(self) -> list[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def to_ascii(self) -> str:
+        """Render with space padding and a dashed header rule."""
+        widths = self._widths()
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in self.rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        head = "| " + " | ".join(self.headers) + " |"
+        rule = "|" + "|".join("---" for _ in self.headers) + "|"
+        body = ["| " + " | ".join(row) + " |" for row in self.rows]
+        return "\n".join([head, rule, *body])
+
+    def to_csv(self) -> str:
+        """Render as CSV (no quoting; cells are simple numerics/labels)."""
+        lines = [",".join(self.headers)]
+        lines += [",".join(row) for row in self.rows]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_ascii()

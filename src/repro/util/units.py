@@ -1,0 +1,103 @@
+"""Unit helpers and constants.
+
+The library stores every quantity in SI base units (seconds, joules,
+bytes, hertz, flop).  These helpers exist so that specs and user code can
+be written in natural units (``4 * GiB``, ``3.2 * GHZ``) without magic
+numbers, and so that reports can render values back into human-readable
+strings.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "KB",
+    "MB",
+    "GB",
+    "KHZ",
+    "MHZ",
+    "GHZ",
+    "NANO",
+    "MICRO",
+    "MILLI",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "fmt_bytes",
+    "fmt_hz",
+    "fmt_seconds",
+    "fmt_watts",
+    "fmt_joules",
+    "fmt_flops",
+]
+
+# Binary byte multiples (cache and memory capacities).
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+# Decimal byte multiples (bandwidths are conventionally decimal).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# Frequencies.
+KHZ = 1_000.0
+MHZ = 1_000_000.0
+GHZ = 1_000_000_000.0
+
+# Generic SI prefixes.
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+
+def _fmt_scaled(value: float, steps: list[tuple[float, str]], unit: str) -> str:
+    for factor, prefix in steps:
+        if abs(value) >= factor:
+            return f"{value / factor:.3g} {prefix}{unit}"
+    return f"{value:.3g} {unit}"
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count using binary prefixes (``8 MiB``)."""
+    return _fmt_scaled(float(n), [(GiB, "Gi"), (MiB, "Mi"), (KiB, "Ki")], "B")
+
+
+def fmt_hz(hz: float) -> str:
+    """Render a frequency (``3.2 GHz``)."""
+    return _fmt_scaled(float(hz), [(GHZ, "G"), (MHZ, "M"), (KHZ, "k")], "Hz")
+
+
+def fmt_seconds(s: float) -> str:
+    """Render a duration, scaling down to ns for short intervals."""
+    if s == 0:
+        return "0 s"
+    if abs(s) >= 1:
+        return f"{s:.3g} s"
+    for factor, prefix in [(MILLI, "m"), (MICRO, "u"), (NANO, "n")]:
+        if abs(s) >= factor:
+            return f"{s / factor:.3g} {prefix}s"
+    return f"{s:.3g} s"
+
+
+def fmt_watts(w: float) -> str:
+    """Render a power value (``35.3 W``)."""
+    return f"{w:.4g} W"
+
+
+def fmt_joules(j: float) -> str:
+    """Render an energy value (``12.5 J``)."""
+    if abs(j) >= 1 or j == 0:
+        return f"{j:.4g} J"
+    return f"{j / MILLI:.4g} mJ"
+
+
+def fmt_flops(f: float) -> str:
+    """Render a flop count or rate with SI prefixes (``204.8 Gflop``)."""
+    return _fmt_scaled(float(f), [(GIGA, "G"), (MEGA, "M"), (KILO, "k")], "flop")

@@ -1,0 +1,81 @@
+"""Kernel cost builders."""
+
+import pytest
+
+from repro.algorithms.kernels import addition_cost, blocked_tile_cost, leaf_gemm_cost
+from repro.util.errors import ValidationError
+
+
+class TestBlockedTile:
+    def test_flops(self, machine):
+        c = blocked_tile_cost(128, 128, 512, machine, 0.92, dram_bytes=1e6)
+        assert c.flops == 2 * 128 * 128 * 512
+        assert c.efficiency == 0.92
+        assert c.bytes_dram == 1e6
+
+    def test_traffic_positive_and_ordered(self, machine):
+        c = blocked_tile_cost(128, 128, 512, machine, 0.92, 0)
+        assert c.bytes_l1 > c.bytes_l2 > c.bytes_l3 > 0
+
+    def test_validation(self, machine):
+        with pytest.raises(ValidationError):
+            blocked_tile_cost(0, 1, 1, machine, 0.9, 0)
+        with pytest.raises(ValidationError):
+            blocked_tile_cost(1, 1, 1, machine, 0.0, 0)
+
+
+class TestLeafGemm:
+    def test_flops_and_efficiency(self, machine):
+        c = leaf_gemm_cost(64, machine, 0.38, 0.5)
+        assert c.flops == 2 * 64**3
+        assert c.efficiency == 0.38
+
+    def test_naive_reuse_traffic(self, machine):
+        c = leaf_gemm_cost(64, machine, 0.38, 0.0, reuse=16)
+        volume = 2 * 64**3 * 8
+        assert c.bytes_l3 == pytest.approx(volume / 16)
+        assert c.bytes_l2 == pytest.approx(volume / 8)
+        assert c.bytes_l1 == pytest.approx(volume / 4)
+        assert c.bytes_dram == pytest.approx(volume / 16)
+
+    def test_locality_cuts_dram_only(self, machine):
+        lo = leaf_gemm_cost(64, machine, 0.38, 0.0)
+        hi = leaf_gemm_cost(64, machine, 0.38, 0.8)
+        assert hi.bytes_dram == pytest.approx(0.2 * lo.bytes_dram)
+        assert hi.bytes_l3 == lo.bytes_l3
+
+    def test_naive_leaf_moves_more_than_blocked_model(self, machine):
+        """The BOTS unrolled leaf's traffic dwarfs a packed kernel's —
+        the mechanism that starves Strassen of scaling."""
+        from repro.algorithms.traffic import gemm_traffic
+
+        naive = leaf_gemm_cost(64, machine, 0.38, 0.0)
+        packed = gemm_traffic(64, 64, 64, machine.caches)
+        assert naive.bytes_l3 > 10 * packed.l3
+
+
+class TestAddition:
+    def test_flops_one_per_element(self, machine):
+        c = addition_cost(128, 8, machine, 0.5)
+        assert c.flops == 8 * 128 * 128
+
+    def test_streaming_three_operands(self, machine):
+        c = addition_cost(128, 1, machine, 0.0)
+        assert c.bytes_l1 == 3 * 128 * 128 * 8
+        assert c.bytes_dram == c.bytes_l1  # no locality
+
+    def test_memory_bound_intensity(self, machine):
+        c = addition_cost(256, 1, machine, 0.0)
+        assert c.arithmetic_intensity() < 0.1
+
+    def test_ops_scale_linearly(self, machine):
+        one = addition_cost(64, 1, machine, 0.5)
+        many = addition_cost(64, 15, machine, 0.5)
+        assert many.flops == 15 * one.flops
+        assert many.bytes_l1 == pytest.approx(15 * one.bytes_l1)
+
+    def test_validation(self, machine):
+        with pytest.raises(ValidationError):
+            addition_cost(0, 1, machine, 0.5)
+        with pytest.raises(ValidationError):
+            addition_cost(4, 0, machine, 0.5)

@@ -1,0 +1,40 @@
+"""Algorithm registry."""
+
+import pytest
+
+from repro.algorithms.blocked import BlockedGemm
+from repro.algorithms.caps import CapsStrassen
+from repro.algorithms.registry import ALGORITHMS, make_algorithm, paper_algorithms
+from repro.algorithms.strassen import StrassenWinograd
+from repro.util.errors import ConfigurationError
+
+
+def test_registry_contains_paper_fixtures():
+    assert {"openblas", "strassen", "caps"} <= set(ALGORITHMS)
+
+
+def test_make_algorithm(machine):
+    assert isinstance(make_algorithm("openblas", machine), BlockedGemm)
+    assert isinstance(make_algorithm("strassen", machine), StrassenWinograd)
+    assert isinstance(make_algorithm("caps", machine), CapsStrassen)
+
+
+def test_make_classic_variant(machine):
+    alg = make_algorithm("strassen-classic", machine)
+    assert isinstance(alg, StrassenWinograd)
+    assert alg.classic
+
+
+def test_kwargs_forwarded(machine):
+    alg = make_algorithm("strassen", machine, cutoff=32)
+    assert alg.cutoff == 32
+
+
+def test_unknown_name(machine):
+    with pytest.raises(ConfigurationError, match="available"):
+        make_algorithm("magma", machine)
+
+
+def test_paper_algorithms_order(machine):
+    algs = paper_algorithms(machine)
+    assert [a.name for a in algs] == ["openblas", "strassen", "caps"]

@@ -1,0 +1,36 @@
+"""Shared fixtures for the repro test suite."""
+
+import pytest
+
+from repro.machine import haswell_e3_1225, generic_smp
+from repro.sim import Engine
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The paper's platform spec (immutable; safe to share)."""
+    return haswell_e3_1225()
+
+
+@pytest.fixture(scope="session")
+def big_machine():
+    """A larger generic SMP for sweeps beyond four cores."""
+    return generic_smp(cores=16)
+
+
+@pytest.fixture()
+def engine(machine):
+    return Engine(machine)
+
+
+# Hypothesis profiles: default stays fast; REPRO_THOROUGH=1 widens the
+# search for nightly-style runs.
+import os
+
+from hypothesis import settings
+
+settings.register_profile("thorough", max_examples=300, deadline=None)
+settings.register_profile("default", max_examples=50, deadline=None)
+settings.load_profile(
+    "thorough" if os.environ.get("REPRO_THOROUGH") == "1" else "default"
+)

@@ -1,0 +1,81 @@
+"""Equation 8: communication bounds."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    OMEGA_CLASSICAL,
+    OMEGA_STRASSEN,
+    bound_crossover_memory,
+    caps_bandwidth_bound,
+    classical_bandwidth_bound,
+    communication_bound_words,
+)
+from repro.util.errors import ValidationError
+
+
+def test_omega_values():
+    assert OMEGA_STRASSEN == pytest.approx(math.log2(7))
+    assert OMEGA_CLASSICAL == 3.0
+
+
+def test_eq8_hand_case():
+    # n=2^10, P=2^4=16, M=2^20: dependent = n^w / (P M^(w/2-1)).
+    b = communication_bound_words(1024, 16, 2**20)
+    w = math.log2(7)
+    expected_dep = 1024**w / (16 * (2**20) ** (w / 2 - 1))
+    expected_ind = 1024**2 / 16 ** (2 / w)
+    assert b.memory_dependent == pytest.approx(expected_dep)
+    assert b.memory_independent == pytest.approx(expected_ind)
+    assert b.words == max(expected_dep, expected_ind)
+
+
+def test_small_memory_is_memory_dependent_regime():
+    b = communication_bound_words(4096, 64, m=1000)
+    assert b.binding_term == "memory-dependent"
+
+
+def test_large_memory_is_memory_independent_regime():
+    b = communication_bound_words(4096, 64, m=1e12)
+    assert b.binding_term == "memory-independent"
+
+
+def test_crossover_memory_separates_regimes():
+    n, p = 8192, 49
+    m_star = bound_crossover_memory(n, p)
+    below = communication_bound_words(n, p, m_star / 10)
+    above = communication_bound_words(n, p, m_star * 10)
+    assert below.binding_term == "memory-dependent"
+    assert above.binding_term == "memory-independent"
+    # At the crossover the two terms are equal.
+    at = communication_bound_words(n, p, m_star)
+    assert at.memory_dependent == pytest.approx(at.memory_independent, rel=1e-9)
+
+
+def test_caps_below_classical():
+    """Strassen-like algorithms move asymptotically less data — the
+    premise of the paper's §IV-C."""
+    n, p, m = 2**14, 64, 2**22
+    assert caps_bandwidth_bound(n, p, m) < classical_bandwidth_bound(n, p, m)
+
+
+def test_bound_decreases_with_memory_in_dependent_regime():
+    n, p = 8192, 343
+    m1 = bound_crossover_memory(n, p) / 100
+    m2 = m1 * 4
+    assert caps_bandwidth_bound(n, p, m2) < caps_bandwidth_bound(n, p, m1)
+
+
+def test_bound_decreases_with_processors():
+    n, m = 8192, 2**20
+    assert caps_bandwidth_bound(n, 64, m) < caps_bandwidth_bound(n, 8, m)
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        communication_bound_words(0, 1, 1)
+    with pytest.raises(ValidationError):
+        communication_bound_words(1, 0, 1)
+    with pytest.raises(ValidationError):
+        communication_bound_words(1, 1, -1)

@@ -1,0 +1,78 @@
+"""Equations 5-6 and the Fig. 1 classification."""
+
+import pytest
+
+from repro.core.scaling import (
+    ScalingClass,
+    ScalingPoint,
+    classify_scaling,
+    ep_scaling,
+    linear_threshold,
+    scaling_series,
+)
+from repro.util.errors import ValidationError
+
+
+def test_eq5():
+    assert ep_scaling(10.0, 2.0) == 5.0
+    assert ep_scaling(2.0, 2.0) == 1.0
+
+
+def test_eq5_validation():
+    with pytest.raises(ValidationError):
+        ep_scaling(1.0, 0.0)
+    with pytest.raises(ValidationError):
+        ep_scaling(-1.0, 1.0)
+
+
+def test_linear_threshold_is_parallelism():
+    assert linear_threshold(4) == 4.0
+    with pytest.raises(ValidationError):
+        linear_threshold(0)
+
+
+def test_classification_regions():
+    # Fig. 1: below the line -> ideal, above -> superlinear.
+    assert classify_scaling(2.0, 4) is ScalingClass.IDEAL
+    assert classify_scaling(6.0, 4) is ScalingClass.SUPERLINEAR
+    assert classify_scaling(4.0, 4) is ScalingClass.LINEAR
+
+
+def test_classification_tolerance_band():
+    assert classify_scaling(4.1, 4, rel_tolerance=0.05) is ScalingClass.LINEAR
+    assert classify_scaling(4.3, 4, rel_tolerance=0.05) is ScalingClass.SUPERLINEAR
+    assert classify_scaling(3.9, 4, rel_tolerance=0.05) is ScalingClass.LINEAR
+    assert classify_scaling(3.7, 4, rel_tolerance=0.05) is ScalingClass.IDEAL
+
+
+def test_scaling_point_distance():
+    pt = ScalingPoint(4, 6.0, ScalingClass.SUPERLINEAR)
+    assert pt.distance_to_linear == pytest.approx(0.5)
+    below = ScalingPoint(4, 3.0, ScalingClass.IDEAL)
+    assert below.distance_to_linear == pytest.approx(-0.25)
+
+
+def test_scaling_series():
+    pts = scaling_series([2.0, 3.0, 8.0, 10.0], [1, 2, 3, 4])
+    assert pts[0].s == 1.0
+    assert pts[0].scaling_class is ScalingClass.LINEAR
+    assert pts[1].s == 1.5  # 3/2
+    assert pts[2].s == 4.0  # 8/2: above threshold 3
+    assert pts[2].scaling_class is ScalingClass.SUPERLINEAR
+    assert pts[3].s == 5.0
+    assert pts[3].scaling_class is ScalingClass.SUPERLINEAR
+
+
+def test_series_requires_unit_baseline():
+    with pytest.raises(ValidationError):
+        scaling_series([1.0, 2.0], [2, 4])
+    with pytest.raises(ValidationError):
+        scaling_series([1.0], [1, 2])
+
+
+def test_paper_implied_openblas_is_superlinear():
+    """The paper's own Table III/IV data: OpenBLAS power ratio x speedup
+    at 4 threads far exceeds 4."""
+    # Power ratio 49.13/20.2 = 2.43; near-linear speedup ~3.9.
+    s = 2.43 * 3.9
+    assert classify_scaling(s, 4) is ScalingClass.SUPERLINEAR

@@ -1,0 +1,66 @@
+"""Collective cost models."""
+
+import math
+
+import pytest
+
+from repro.distributed.comm import (
+    CommCost,
+    allgather,
+    alltoall,
+    broadcast,
+    point_to_point,
+    reduce,
+)
+from repro.distributed.network import InterconnectSpec
+
+NET = InterconnectSpec(latency_s=1e-6, bandwidth_bytes_per_s=1e9, j_per_byte=1e-9)
+
+
+def test_point_to_point():
+    c = point_to_point(NET, 1e6)
+    assert c.time_s == pytest.approx(1e-6 + 1e-3)
+    assert c.link_bytes == 1e6
+
+
+def test_broadcast_log_rounds():
+    c = broadcast(NET, 1e6, ranks=8)
+    assert c.link_bytes == pytest.approx(3e6)  # log2(8) rounds
+    c16 = broadcast(NET, 1e6, ranks=16)
+    assert c16.link_bytes == pytest.approx(4e6)
+
+
+def test_broadcast_single_rank_free():
+    assert broadcast(NET, 1e6, 1) == CommCost.zero()
+
+
+def test_reduce_matches_broadcast_wire_cost():
+    assert reduce(NET, 1e6, 8).link_bytes == broadcast(NET, 1e6, 8).link_bytes
+
+
+def test_allgather_ring():
+    c = allgather(NET, 1e6, ranks=4)
+    assert c.link_bytes == pytest.approx(3e6)  # P-1 rounds
+
+
+def test_alltoall_pairwise():
+    c = alltoall(NET, 1e5, ranks=5)
+    assert c.link_bytes == pytest.approx(4e5)
+
+
+def test_energy_charges_link_bytes():
+    c = point_to_point(NET, 1e6)
+    assert c.energy_j(NET) == pytest.approx(1e-3)
+
+
+def test_comm_cost_addition():
+    total = point_to_point(NET, 100) + point_to_point(NET, 200)
+    assert total.link_bytes == 300
+    assert total.time_s == pytest.approx(2e-6 + 300 / 1e9)
+
+
+def test_validation():
+    with pytest.raises(Exception):
+        broadcast(NET, -1, 4)
+    with pytest.raises(Exception):
+        allgather(NET, 1, 0)

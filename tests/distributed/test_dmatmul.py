@@ -1,0 +1,84 @@
+"""Distributed matmul models."""
+
+import pytest
+
+from repro.distributed.dmatmul import CapsDistributed, Summa25D, Summa2D
+from repro.distributed.network import ClusterSpec
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ClusterSpec()
+
+
+def test_summa_flops_divide_evenly(cluster):
+    alg = Summa2D(cluster)
+    p1 = alg.rank_profile(4096, 1)
+    p16 = alg.rank_profile(4096, 16)
+    assert p16.flops == pytest.approx(p1.flops / 16)
+
+
+def test_summa_comm_shrinks_with_grid(cluster):
+    alg = Summa2D(cluster)
+    c4 = alg.rank_profile(8192, 4).comm.link_bytes
+    c16 = alg.rank_profile(8192, 16).comm.link_bytes
+    assert c16 == pytest.approx(c4 / 2)  # ~ n^2/sqrt(P)
+
+
+def test_25d_beats_2d_communication(cluster):
+    p = 64
+    two_d = Summa2D(cluster).rank_profile(8192, p).comm.link_bytes
+    two_5d = Summa25D(cluster, c=4).rank_profile(8192, p).comm.link_bytes
+    assert two_5d == pytest.approx(two_d / 2)  # sqrt(c) reduction
+
+
+def test_25d_effective_c_caps_to_divisor(cluster):
+    alg = Summa25D(cluster, c=4)
+    assert alg.effective_c(1) == 1
+    assert alg.effective_c(6) == 3
+    assert alg.effective_c(64) == 4
+
+
+def test_25d_memory_grows_with_c(cluster):
+    base = Summa2D(cluster).memory_words_per_rank(8192, 64)
+    repl = Summa25D(cluster, c=4).memory_words_per_rank(8192, 64)
+    assert repl == pytest.approx(4 * base)
+
+
+def test_caps_fewer_flops_than_classical(cluster):
+    p = 49
+    caps = CapsDistributed(cluster).rank_profile(8192, p)
+    summa = Summa2D(cluster).rank_profile(8192, p)
+    assert caps.flops < summa.flops
+
+
+def test_caps_less_communication(cluster):
+    p = 49
+    caps = CapsDistributed(cluster).rank_profile(8192, p)
+    summa = Summa2D(cluster).rank_profile(8192, p)
+    assert caps.comm.link_bytes < summa.comm.link_bytes
+
+
+def test_caps_memory_blowup(cluster):
+    """BFS replication: CAPS needs more memory per rank."""
+    caps = CapsDistributed(cluster)
+    summa = Summa2D(cluster)
+    assert caps.memory_words_per_rank(8192, 49) > summa.memory_words_per_rank(8192, 49)
+
+
+def test_memory_gate(cluster):
+    with pytest.raises(ConfigurationError):
+        Summa2D(cluster).rank_profile(65536, 1)
+
+
+def test_comm_fraction_grows_with_ranks(cluster):
+    alg = Summa2D(cluster)
+    f4 = alg.rank_profile(8192, 4).comm_fraction
+    f256 = alg.rank_profile(8192, 256).comm_fraction
+    assert 0 < f4 < f256 < 1
+
+
+def test_profile_time_is_compute_plus_comm(cluster):
+    p = Summa2D(cluster).rank_profile(4096, 16)
+    assert p.time_s == pytest.approx(p.compute_time_s + p.comm.time_s)

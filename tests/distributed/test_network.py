@@ -1,0 +1,41 @@
+"""Interconnect and cluster specs."""
+
+import pytest
+
+from repro.distributed.network import ClusterSpec, InterconnectSpec
+
+
+def test_alpha_beta_transfer_time():
+    net = InterconnectSpec(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+    assert net.transfer_time_s(1e9) == pytest.approx(1.0 + 1e-6)
+    assert net.transfer_time_s(1e9, messages=10) == pytest.approx(1.0 + 1e-5)
+
+
+def test_zero_bytes_costs_latency_only():
+    net = InterconnectSpec(latency_s=2e-6)
+    assert net.transfer_time_s(0) == pytest.approx(2e-6)
+
+
+def test_transfer_energy():
+    net = InterconnectSpec(j_per_byte=1e-9)
+    assert net.transfer_energy_j(1e9) == pytest.approx(1.0)
+
+
+def test_cluster_defaults_use_haswell_node():
+    cl = ClusterSpec()
+    assert cl.node.cores == 4
+    assert cl.node_memory_words() == pytest.approx(4 * 2**30 / 8)
+
+
+def test_cluster_node_limit():
+    cl = ClusterSpec(max_nodes=8)
+    assert cl.validate_nodes(8) == 8
+    with pytest.raises(ValueError):
+        cl.validate_nodes(9)
+
+
+def test_validation():
+    with pytest.raises(Exception):
+        InterconnectSpec(bandwidth_bytes_per_s=0)
+    with pytest.raises(Exception):
+        InterconnectSpec(latency_s=-1)

@@ -1,0 +1,114 @@
+"""Strassen-family numerics against numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg.dense import random_matrix
+from repro.linalg.fastmm import (
+    classic_strassen_product,
+    recursion_depth,
+    winograd_product,
+    winograd_product_peeled,
+)
+from repro.linalg.stability import error_bound
+from repro.util.errors import ValidationError
+
+
+@pytest.mark.parametrize("fn", [winograd_product, classic_strassen_product])
+@pytest.mark.parametrize("n,cutoff", [(8, 2), (32, 8), (64, 16), (128, 64), (256, 64)])
+def test_matches_numpy_within_bound(fn, n, cutoff):
+    a = random_matrix(n, seed=n)
+    b = random_matrix(n, seed=n + 1)
+    c = fn(a, b, cutoff)
+    variant = "winograd" if fn is winograd_product else "strassen"
+    bound = error_bound(a, b, variant=variant, cutoff=cutoff)
+    assert np.max(np.abs(c - a @ b)) <= bound
+
+
+@pytest.mark.parametrize("fn", [winograd_product, classic_strassen_product])
+def test_cutoff_at_or_above_n_is_plain_matmul(fn):
+    a = random_matrix(24, seed=0)
+    b = random_matrix(24, seed=1)
+    assert np.array_equal(fn(a, b, cutoff=24), a @ b)
+
+
+@pytest.mark.parametrize("fn", [winograd_product, classic_strassen_product])
+def test_identity_multiplication(fn):
+    a = random_matrix(64, seed=3)
+    eye = np.eye(64)
+    assert np.allclose(fn(a, eye, 16), a)
+    assert np.allclose(fn(eye, a, 16), a)
+
+
+def test_non_power_of_two_above_cutoff_rejected():
+    a = random_matrix(48, seed=0)
+    with pytest.raises(ValidationError):
+        winograd_product(a, a, cutoff=16)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValidationError):
+        winograd_product(np.zeros((4, 4)), np.zeros((8, 8)), 2)
+
+
+def test_recursion_depth():
+    assert recursion_depth(512, 64) == 3
+    assert recursion_depth(64, 64) == 0
+    assert recursion_depth(4096, 64) == 6
+    assert recursion_depth(96, 32) == 2  # 96 -> 48 -> 24 <= 32
+
+
+def test_recursion_depth_odd_rejected():
+    with pytest.raises(ValidationError):
+        recursion_depth(100, 16)  # 100 -> 50 -> 25 odd above cutoff
+
+
+def test_winograd_and_classic_agree():
+    a = random_matrix(128, seed=9)
+    b = random_matrix(128, seed=10)
+    cw = winograd_product(a, b, 32)
+    cs = classic_strassen_product(a, b, 32)
+    assert np.allclose(cw, cs, atol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=6),
+    cutoff_pow=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_winograd_property(k, cutoff_pow, seed):
+    n = 2**k
+    cutoff = max(1, 2**min(cutoff_pow, k))
+    a = random_matrix(n, seed=seed)
+    b = random_matrix(n, seed=seed + 1)
+    c = winograd_product(a, b, cutoff)
+    assert np.max(np.abs(c - a @ b)) <= error_bound(a, b, "winograd", cutoff)
+
+
+class TestPeeling:
+    """Dynamic peeling for non-power-of-two sizes."""
+
+    @pytest.mark.parametrize("n", [7, 30, 45, 63, 100, 129])
+    def test_odd_and_arbitrary_sizes(self, n):
+        a = random_matrix(n, seed=n)
+        b = random_matrix(n, seed=n + 1)
+        c = winograd_product_peeled(a, b, cutoff=8)
+        assert np.allclose(c, a @ b, atol=1e-10 * n)
+
+    def test_matches_padded_variant_on_powers_of_two(self):
+        a = random_matrix(64, seed=1)
+        b = random_matrix(64, seed=2)
+        padded = winograd_product(a, b, 16)
+        peeled = winograd_product_peeled(a, b, 16)
+        assert np.allclose(padded, peeled, atol=1e-11)
+
+    def test_below_cutoff_plain(self):
+        a = random_matrix(10, seed=3)
+        b = random_matrix(10, seed=4)
+        assert np.array_equal(winograd_product_peeled(a, b, 16), a @ b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            winograd_product_peeled(np.zeros((4, 4)), np.zeros((6, 6)), 2)

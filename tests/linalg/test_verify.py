@@ -1,0 +1,46 @@
+"""Verification reports."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.dense import random_matrix
+from repro.linalg.fastmm import winograd_product
+from repro.linalg.verify import verify_matmul
+from repro.util.errors import ValidationError
+
+
+def test_exact_product_verifies():
+    a = random_matrix(32, seed=0)
+    b = random_matrix(32, seed=1)
+    report = verify_matmul(a, b, a @ b, variant="classical")
+    assert report.ok
+    assert report.abs_error <= report.bound
+
+
+def test_winograd_product_verifies_under_its_bound():
+    a = random_matrix(128, seed=2)
+    b = random_matrix(128, seed=3)
+    c = winograd_product(a, b, 32)
+    report = verify_matmul(a, b, c, variant="winograd", cutoff=32)
+    assert report.ok
+
+
+def test_corrupted_result_fails():
+    a = random_matrix(32, seed=4)
+    b = random_matrix(32, seed=5)
+    c = a @ b
+    c[0, 0] += 1.0
+    report = verify_matmul(a, b, c)
+    assert not report.ok
+    assert report.abs_error >= 1.0
+
+
+def test_shape_mismatch():
+    with pytest.raises(ValidationError):
+        verify_matmul(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+def test_repr_mentions_verdict():
+    a = random_matrix(8, seed=6)
+    report = verify_matmul(a, a, a @ a)
+    assert "ok" in repr(report)

@@ -1,0 +1,41 @@
+"""DRAM spec."""
+
+import pytest
+
+from repro.machine.dram import DramSpec
+from repro.util.units import GB, GiB
+
+
+def test_paper_platform_single_channel():
+    d = DramSpec()
+    assert d.capacity_bytes == 4 * GiB
+    assert d.channels == 1
+    assert d.peak_bandwidth_bytes_per_s == pytest.approx(12.8 * GB)
+
+
+def test_sustained_below_peak():
+    d = DramSpec()
+    assert d.sustained_bandwidth_bytes_per_s < d.peak_bandwidth_bytes_per_s
+    assert d.sustained_bandwidth_bytes_per_s == pytest.approx(0.8 * 12.8 * GB)
+
+
+def test_bandwidth_scales_with_channels():
+    one = DramSpec(channels=1)
+    two = DramSpec(channels=2)
+    assert two.peak_bandwidth_bytes_per_s == 2 * one.peak_bandwidth_bytes_per_s
+
+
+def test_fits():
+    d = DramSpec(capacity_bytes=4 * GiB)
+    assert d.fits(3 * GiB)
+    assert not d.fits(5 * GiB)
+
+
+def test_describe():
+    assert "12.8" in DramSpec().describe()
+
+
+@pytest.mark.parametrize("kw", [{"capacity_bytes": 0}, {"channels": 0}, {"sustained_fraction": 0}])
+def test_validation(kw):
+    with pytest.raises(Exception):
+        DramSpec(**kw)

@@ -1,0 +1,118 @@
+"""Energy model: plane attribution and invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.energy import Activity, EnergyModel, PlaneEnergy
+from repro.util.errors import ValidationError
+
+
+def model():
+    return EnergyModel(
+        package_static_w=10.0,
+        core_active_w=2.0,
+        j_per_flop=100e-12,
+        j_per_byte_l1=5e-12,
+        j_per_byte_l2=10e-12,
+        j_per_byte_l3=20e-12,
+        uncore_j_per_dram_byte=50e-12,
+        dram_static_w=1.0,
+        dram_j_per_byte=30e-12,
+    )
+
+
+def test_idle_energy_is_static_only():
+    e = model().idle_energy(2.0)
+    assert e.package == pytest.approx(20.0)
+    assert e.pp0 == 0.0
+    assert e.dram == pytest.approx(2.0)
+
+
+def test_idle_power():
+    w = model().idle_power_w()
+    assert w["PACKAGE"] == 10.0
+    assert w["PP0"] == 0.0
+    assert w["DRAM"] == 1.0
+
+
+def test_interval_energy_hand_computed():
+    act = Activity(
+        dt=1.0,
+        busy_core_seconds=2.0,
+        flops=1e9,
+        bytes_l1=1e9,
+        bytes_l2=1e9,
+        bytes_l3=1e9,
+        bytes_dram=1e9,
+    )
+    e = model().interval_energy(act)
+    # PP0 = 2*2.0 + 0.1 + 0.005*1000... : cores 4.0 + flop 0.1 + l1 0.005*... compute explicitly
+    expected_pp0 = 2 * 2.0 + 1e9 * 100e-12 + 1e9 * 5e-12 + 1e9 * 10e-12
+    assert e.pp0 == pytest.approx(expected_pp0)
+    expected_uncore = 1e9 * 20e-12 + 1e9 * 50e-12
+    assert e.package == pytest.approx(10.0 + expected_pp0 + expected_uncore)
+    assert e.dram == pytest.approx(1.0 + 1e9 * 30e-12)
+
+
+def test_package_contains_pp0():
+    act = Activity(dt=0.5, busy_core_seconds=1.0, flops=1e8)
+    e = model().interval_energy(act)
+    assert e.package >= e.pp0
+
+
+def test_total_excludes_double_counting():
+    e = PlaneEnergy(package=10.0, pp0=6.0, dram=2.0)
+    assert e.total == 12.0  # package + dram, NOT + pp0
+
+
+def test_plane_energy_addition():
+    a = PlaneEnergy(1.0, 0.5, 0.2)
+    b = PlaneEnergy(2.0, 1.0, 0.3)
+    c = a + b
+    assert (c.package, c.pp0, c.dram) == (3.0, 1.5, 0.5)
+
+
+def test_dvfs_factor_scales_dynamic_not_static():
+    act = Activity(dt=1.0, busy_core_seconds=1.0, flops=1e9)
+    full = model().interval_energy(act, dvfs_factor=1.0)
+    half = model().interval_energy(act, dvfs_factor=0.5)
+    assert half.pp0 == pytest.approx(full.pp0 / 2)
+    # Static part of package is unscaled.
+    assert half.package == pytest.approx(10.0 + (full.package - 10.0) / 2)
+
+
+def test_invalid_dvfs_factor():
+    with pytest.raises(ValidationError):
+        model().interval_energy(Activity(dt=1.0), dvfs_factor=0.0)
+
+
+def test_negative_activity_rejected():
+    with pytest.raises(ValidationError):
+        Activity(dt=-1.0)
+    with pytest.raises(ValidationError):
+        Activity(dt=1.0, flops=-5)
+
+
+def test_replace():
+    m2 = model().replace(package_static_w=99.0)
+    assert m2.package_static_w == 99.0
+    assert m2.core_active_w == model().core_active_w
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    dt=st.floats(min_value=1e-6, max_value=10),
+    busy=st.floats(min_value=0, max_value=40),
+    flops=st.floats(min_value=0, max_value=1e12),
+    dram=st.floats(min_value=0, max_value=1e10),
+)
+def test_energy_additivity_over_interval_split(dt, busy, flops, dram):
+    """Splitting an interval in two must conserve every plane's energy."""
+    m = model()
+    whole = m.interval_energy(Activity(dt, busy, flops, 0, 0, 0, dram))
+    h1 = m.interval_energy(Activity(dt / 2, busy / 2, flops / 2, 0, 0, 0, dram / 2))
+    h2 = m.interval_energy(Activity(dt / 2, busy / 2, flops / 2, 0, 0, 0, dram / 2))
+    both = h1 + h2
+    assert both.package == pytest.approx(whole.package, rel=1e-9)
+    assert both.pp0 == pytest.approx(whole.pp0, rel=1e-9, abs=1e-12)
+    assert both.dram == pytest.approx(whole.dram, rel=1e-9)

@@ -1,0 +1,70 @@
+"""Frequency domains and DVFS."""
+
+import pytest
+
+from repro.machine.frequency import FrequencyDomain, PState, fixed_frequency
+from repro.util.errors import ConfigurationError
+from repro.util.units import GHZ
+
+
+def test_fixed_frequency_defaults():
+    dom = fixed_frequency()
+    assert dom.frequency_hz == 3.2 * GHZ
+    assert not dom.power_saving_enabled
+    assert len(dom.pstates) == 1
+
+
+def test_pstate_validation():
+    with pytest.raises(Exception):
+        PState(0.0)
+    with pytest.raises(Exception):
+        PState(1e9, voltage=0)
+
+
+def test_dynamic_power_factor_fv2():
+    p = PState(2e9, voltage=0.9)
+    assert p.dynamic_power_factor == pytest.approx(2e9 * 0.81)
+
+
+def _dvfs():
+    return FrequencyDomain(
+        (PState(1.6 * GHZ, 0.8), PState(2.4 * GHZ, 0.9), PState(3.2 * GHZ, 1.0)),
+        active_index=2,
+        power_saving_enabled=True,
+    )
+
+
+def test_pstates_must_be_sorted():
+    with pytest.raises(ConfigurationError):
+        FrequencyDomain((PState(3e9), PState(2e9)))
+
+
+def test_active_index_bounds():
+    with pytest.raises(ConfigurationError):
+        FrequencyDomain((PState(1e9),), active_index=1)
+
+
+def test_at_state_returns_new_domain():
+    dom = _dvfs()
+    low = dom.at_state(0)
+    assert low.frequency_hz == 1.6 * GHZ
+    assert dom.frequency_hz == 3.2 * GHZ  # original untouched
+    with pytest.raises(ConfigurationError):
+        dom.at_state(5)
+
+
+def test_scaled_dynamic_power_monotone_in_pstate():
+    dom = _dvfs()
+    powers = [dom.at_state(i).scaled_dynamic_power(10.0) for i in range(3)]
+    assert powers == sorted(powers)
+    assert powers[2] == pytest.approx(10.0)  # nominal state = quoted power
+
+
+def test_cycles_to_seconds():
+    dom = fixed_frequency(2e9)
+    assert dom.cycles_to_seconds(4e9) == pytest.approx(2.0)
+
+
+def test_describe_mentions_mode():
+    assert "fixed" in fixed_frequency().describe()
+    assert "DVFS" in _dvfs().describe()

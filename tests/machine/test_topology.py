@@ -1,0 +1,56 @@
+"""Topology model."""
+
+import pytest
+
+from repro.machine.topology import CoreId, CoreSpec, MachineTopology, SocketSpec
+from repro.util.errors import ConfigurationError
+
+
+def test_haswell_like_peak():
+    topo = MachineTopology.single_socket(4, CoreSpec(flops_per_cycle=16))
+    assert topo.total_cores == 4
+    assert topo.peak_flops(3.2e9) == pytest.approx(204.8e9)
+
+
+def test_core_ids_stable_order():
+    topo = MachineTopology((SocketSpec(2), SocketSpec(3)))
+    ids = topo.core_ids()
+    assert ids == sorted(ids)
+    assert len(ids) == 5
+    assert ids[0] == CoreId(0, 0)
+    assert ids[-1] == CoreId(1, 2)
+
+
+def test_symmetry_detection():
+    sym = MachineTopology((SocketSpec(2), SocketSpec(2)))
+    asym = MachineTopology((SocketSpec(2), SocketSpec(3)))
+    assert sym.is_symmetric
+    assert not asym.is_symmetric
+
+
+def test_core_spec_lookup_and_errors():
+    topo = MachineTopology.single_socket(2)
+    assert topo.core_spec(CoreId(0, 1)).flops_per_cycle == 16.0
+    with pytest.raises(ConfigurationError):
+        topo.core_spec(CoreId(1, 0))
+    with pytest.raises(ConfigurationError):
+        topo.core_spec(CoreId(0, 2))
+
+
+def test_smt_threads():
+    topo = MachineTopology.single_socket(4, CoreSpec(smt_ways=2))
+    assert topo.total_hw_threads == 8
+    assert topo.total_cores == 4
+
+
+def test_invalid_configs():
+    with pytest.raises(ConfigurationError):
+        MachineTopology(())
+    with pytest.raises(ConfigurationError):
+        SocketSpec(0)
+    with pytest.raises(ConfigurationError):
+        CoreSpec(smt_ways=0)
+
+
+def test_core_id_str():
+    assert str(CoreId(0, 3)) == "s0c3"

@@ -1,0 +1,90 @@
+"""Emulated RAPL MSRs: quantization and 32-bit wraparound."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.power.msr import (
+    ENERGY_STATUS_MASK,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_RAPL_POWER_UNIT,
+    MsrFile,
+)
+from repro.power.planes import Plane
+from repro.util.errors import MeasurementError, ValidationError
+
+
+def test_power_unit_register_encodes_esu():
+    msr = MsrFile(energy_unit_exponent=14)
+    raw = msr.read(MSR_RAPL_POWER_UNIT)
+    assert (raw >> 8) & 0x1F == 14
+
+
+def test_joules_per_unit():
+    assert MsrFile(energy_unit_exponent=14).joules_per_unit == pytest.approx(2**-14)
+
+
+def test_deposit_and_read_back():
+    msr = MsrFile()
+    msr.deposit_energy(Plane.PACKAGE, 1.0)
+    joules = msr.counter_joules(Plane.PACKAGE)
+    assert joules == pytest.approx(1.0, abs=msr.joules_per_unit)
+
+
+def test_sub_unit_residual_not_lost():
+    msr = MsrFile()
+    tiny = msr.joules_per_unit / 10
+    for _ in range(100):
+        msr.deposit_energy(Plane.PP0, tiny)
+    assert msr.counter_joules(Plane.PP0) == pytest.approx(
+        100 * tiny, abs=msr.joules_per_unit
+    )
+
+
+def test_counter_wraps_at_32_bits():
+    msr = MsrFile()
+    just_below = (ENERGY_STATUS_MASK) * msr.joules_per_unit
+    msr.deposit_energy(Plane.DRAM, just_below)
+    msr.deposit_energy(Plane.DRAM, 3 * msr.joules_per_unit)
+    raw = msr.read(0x619)
+    assert raw == 2  # wrapped past 0xFFFFFFFF
+
+
+def test_unknown_msr_raises():
+    with pytest.raises(MeasurementError):
+        MsrFile().read(0xDEAD)
+
+
+def test_negative_deposit_rejected():
+    with pytest.raises(ValidationError):
+        MsrFile().deposit_energy(Plane.PACKAGE, -1.0)
+
+
+def test_unsupported_plane_rejected():
+    with pytest.raises(MeasurementError):
+        MsrFile().deposit_energy(Plane.PSYS, 1.0)
+
+
+def test_invalid_exponent():
+    with pytest.raises(ValidationError):
+        MsrFile(energy_unit_exponent=0)
+
+
+def test_wrap_joules():
+    msr = MsrFile(energy_unit_exponent=14)
+    assert msr.wrap_joules == pytest.approx(2**32 * 2**-14)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=10.0), min_size=1, max_size=30))
+def test_deposits_accumulate_regardless_of_split(chunks):
+    """Depositing in many chunks equals one big deposit, within one
+    quantum (residual carry makes the error sub-unit, not per-chunk)."""
+    total = sum(chunks)
+    a = MsrFile()
+    for c in chunks:
+        a.deposit_energy(Plane.PACKAGE, c)
+    b = MsrFile()
+    b.deposit_energy(Plane.PACKAGE, total)
+    assert a.counter_joules(Plane.PACKAGE) == pytest.approx(
+        b.counter_joules(Plane.PACKAGE), abs=a.joules_per_unit * 1.01
+    )

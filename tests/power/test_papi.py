@@ -1,0 +1,110 @@
+"""PAPI-like component API."""
+
+import pytest
+
+from repro.power.msr import MsrFile
+from repro.power.papi import EventSetState, PapiLibrary, RAPL_EVENTS
+from repro.power.planes import Plane
+from repro.util.errors import MeasurementError
+
+
+@pytest.fixture()
+def lib():
+    return PapiLibrary(MsrFile())
+
+
+def test_only_rapl_component(lib):
+    assert lib.num_components() == 1
+    comp = lib.component("rapl")
+    assert "rapl:::PACKAGE_ENERGY:PACKAGE0" in comp.events
+    with pytest.raises(MeasurementError):
+        lib.component("cuda")
+
+
+def test_describe_event(lib):
+    comp = lib.component("rapl")
+    assert "PACKAGE" in comp.describe_event("rapl:::PACKAGE_ENERGY:PACKAGE0")
+    with pytest.raises(MeasurementError):
+        comp.describe_event("nope")
+
+
+def test_eventset_lifecycle(lib):
+    es = lib.create_eventset()
+    assert es.state is EventSetState.STOPPED
+    es.add_event("rapl:::PACKAGE_ENERGY:PACKAGE0")
+    es.start()
+    assert es.state is EventSetState.RUNNING
+    values = es.stop()
+    assert values == [pytest.approx(0.0, abs=1)]
+    assert es.state is EventSetState.STOPPED
+
+
+def test_paper_configuration_package_and_pp0(lib):
+    """The paper's driver reads PACKAGE and PP0 (§V-C)."""
+    es = lib.create_eventset()
+    es.add_event("rapl:::PACKAGE_ENERGY:PACKAGE0")
+    es.add_event("rapl:::PP0_ENERGY:PACKAGE0")
+    es.start()
+    lib.msr.deposit_energy(Plane.PACKAGE, 2.0)
+    lib.msr.deposit_energy(Plane.PP0, 1.5)
+    pkg_nj, pp0_nj = es.stop()
+    assert pkg_nj == pytest.approx(2.0e9, rel=1e-3)
+    assert pp0_nj == pytest.approx(1.5e9, rel=1e-3)
+
+
+def test_values_are_nanojoules(lib):
+    es = lib.create_eventset()
+    es.add_event("rapl:::DRAM_ENERGY:PACKAGE0")
+    es.start()
+    lib.msr.deposit_energy(Plane.DRAM, 1.0)
+    (value,) = es.read()
+    assert value == pytest.approx(1e9, rel=1e-3)
+
+
+def test_read_requires_running(lib):
+    es = lib.create_eventset()
+    es.add_event("rapl:::PACKAGE_ENERGY:PACKAGE0")
+    with pytest.raises(MeasurementError):
+        es.read()
+
+
+def test_start_empty_rejected(lib):
+    with pytest.raises(MeasurementError):
+        lib.create_eventset().start()
+
+
+def test_add_while_running_rejected(lib):
+    es = lib.create_eventset()
+    es.add_event("rapl:::PACKAGE_ENERGY:PACKAGE0")
+    es.start()
+    with pytest.raises(MeasurementError):
+        es.add_event("rapl:::PP0_ENERGY:PACKAGE0")
+
+
+def test_duplicate_event_rejected(lib):
+    es = lib.create_eventset()
+    es.add_event("rapl:::PACKAGE_ENERGY:PACKAGE0")
+    with pytest.raises(MeasurementError):
+        es.add_event("rapl:::PACKAGE_ENERGY:PACKAGE0")
+
+
+def test_unknown_event_rejected(lib):
+    with pytest.raises(MeasurementError):
+        lib.create_eventset().add_event("rapl:::BOGUS")
+
+
+def test_double_start_rejected(lib):
+    es = lib.create_eventset()
+    es.add_event("rapl:::PACKAGE_ENERGY:PACKAGE0")
+    es.start()
+    with pytest.raises(MeasurementError):
+        es.start()
+
+
+def test_event_plane_mapping_complete():
+    assert set(RAPL_EVENTS.values()) == {
+        Plane.PACKAGE,
+        Plane.PP0,
+        Plane.PP1,
+        Plane.DRAM,
+    }

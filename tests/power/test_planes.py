@@ -1,0 +1,71 @@
+"""Power planes and Eq. 3 aggregation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.power.planes import PAPER_PLANES, Plane, PlaneSet, aggregate_planes
+from repro.util.errors import MeasurementError, ValidationError
+
+
+def test_paper_measures_package_and_pp0():
+    assert PAPER_PLANES == (Plane.PACKAGE, Plane.PP0)
+
+
+def test_plane_set_nonempty_required():
+    with pytest.raises(ValidationError):
+        PlaneSet(())
+
+
+def test_plane_set_no_duplicates():
+    with pytest.raises(ValidationError):
+        PlaneSet((Plane.PACKAGE, Plane.PACKAGE))
+
+
+def test_require():
+    ps = PlaneSet((Plane.PACKAGE,))
+    assert ps.require(Plane.PACKAGE) is Plane.PACKAGE
+    with pytest.raises(MeasurementError):
+        ps.require(Plane.DRAM)
+
+
+def test_independent_excludes_pp0_under_package():
+    ps = PlaneSet((Plane.PACKAGE, Plane.PP0, Plane.DRAM))
+    assert Plane.PP0 not in ps.independent
+    assert Plane.PACKAGE in ps.independent
+    assert Plane.DRAM in ps.independent
+
+
+def test_independent_without_package():
+    ps = PlaneSet((Plane.PP0, Plane.DRAM))
+    assert ps.independent == (Plane.PP0, Plane.DRAM)
+
+
+def test_aggregate_simple_sum():
+    # Eq. 3 over independent planes.
+    assert aggregate_planes({Plane.PP0: 3.0, Plane.DRAM: 2.0}) == 5.0
+
+
+def test_aggregate_skips_contained_pp0():
+    # PACKAGE already contains PP0 (RAPL semantics).
+    total = aggregate_planes({Plane.PACKAGE: 10.0, Plane.PP0: 6.0, Plane.DRAM: 2.0})
+    assert total == 12.0
+
+
+def test_aggregate_accepts_string_keys():
+    assert aggregate_planes({"PACKAGE": 10.0, "DRAM": 1.0}) == 11.0
+
+
+def test_aggregate_rejects_empty_and_negative():
+    with pytest.raises(ValidationError):
+        aggregate_planes({})
+    with pytest.raises(ValidationError):
+        aggregate_planes({Plane.PACKAGE: -1.0})
+
+
+@given(st.lists(st.sampled_from(list(Plane)), min_size=1, max_size=5, unique=True),
+       st.floats(min_value=0, max_value=1e3))
+def test_aggregate_permutation_invariant(planes, base):
+    readings = {p: base + i for i, p in enumerate(planes)}
+    forward = aggregate_planes(readings)
+    backward = aggregate_planes(dict(reversed(list(readings.items()))))
+    assert forward == pytest.approx(backward, rel=1e-12)

@@ -1,0 +1,69 @@
+"""Wrap-aware RAPL reader."""
+
+import pytest
+
+from repro.power.msr import MsrFile
+from repro.power.planes import Plane
+from repro.power.rapl import RaplDomain, RaplReader
+from repro.util.errors import MeasurementError
+
+
+def test_domain_metadata():
+    dom = RaplDomain.for_plane(Plane.PACKAGE)
+    assert dom.msr_address == 0x611
+    assert "package" in dom.description
+
+
+def test_psys_is_not_a_rapl_domain():
+    with pytest.raises(MeasurementError):
+        RaplDomain.for_plane(Plane.PSYS)
+
+
+def test_reader_starts_at_zero_even_with_prior_energy():
+    msr = MsrFile()
+    msr.deposit_energy(Plane.PACKAGE, 100.0)
+    reader = RaplReader(msr)
+    assert reader.energy_joules(Plane.PACKAGE) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_reader_sees_deposits_after_creation():
+    msr = MsrFile()
+    reader = RaplReader(msr)
+    msr.deposit_energy(Plane.PACKAGE, 5.0)
+    assert reader.energy_joules(Plane.PACKAGE) == pytest.approx(5.0, abs=1e-3)
+
+
+def test_reader_survives_counter_wrap():
+    msr = MsrFile()
+    reader = RaplReader(msr)
+    # Many deposits summing past the ~262 kJ wrap point, polled between.
+    step = msr.wrap_joules * 0.4
+    for _ in range(5):
+        msr.deposit_energy(Plane.PACKAGE, step)
+        reader.poll()
+    assert reader.energy_joules(Plane.PACKAGE) == pytest.approx(5 * step, rel=1e-6)
+
+
+def test_untracked_plane_raises():
+    reader = RaplReader(MsrFile(), planes=(Plane.PACKAGE,))
+    with pytest.raises(MeasurementError):
+        reader.energy_joules(Plane.DRAM)
+
+
+def test_snapshot_covers_all_tracked():
+    msr = MsrFile()
+    reader = RaplReader(msr)
+    msr.deposit_energy(Plane.PP0, 2.0)
+    snap = reader.snapshot()
+    assert set(snap) == {Plane.PACKAGE, Plane.PP0, Plane.DRAM}
+    assert snap[Plane.PP0] == pytest.approx(2.0, abs=1e-3)
+
+
+def test_reset_zeroes_accumulation():
+    msr = MsrFile()
+    reader = RaplReader(msr)
+    msr.deposit_energy(Plane.PACKAGE, 3.0)
+    reader.reset()
+    assert reader.energy_joules(Plane.PACKAGE) == pytest.approx(0.0, abs=1e-9)
+    msr.deposit_energy(Plane.PACKAGE, 1.0)
+    assert reader.energy_joules(Plane.PACKAGE) == pytest.approx(1.0, abs=1e-3)

@@ -1,0 +1,102 @@
+"""Power traces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.power.planes import Plane
+from repro.power.sampling import PowerSegment, PowerTrace
+from repro.util.errors import MeasurementError, ValidationError
+
+PKG = Plane.PACKAGE
+
+
+def seg(t0, t1, w):
+    return PowerSegment(t0, t1, {PKG: w})
+
+
+def trace():
+    return PowerTrace([seg(0, 1, 10.0), seg(1, 3, 20.0), seg(3, 4, 30.0)])
+
+
+def test_segment_validation():
+    with pytest.raises(ValidationError):
+        PowerSegment(1.0, 0.5, {PKG: 1.0})
+    with pytest.raises(ValidationError):
+        PowerSegment(0, 1, {PKG: -1.0})
+
+
+def test_energy_integrates_watts():
+    t = trace()
+    assert t.energy(PKG) == pytest.approx(10 + 40 + 30)
+
+
+def test_average_power_is_energy_over_duration():
+    t = trace()
+    assert t.average_power(PKG) == pytest.approx(80 / 4)
+
+
+def test_peak_power():
+    assert trace().peak_power(PKG) == 30.0
+
+
+def test_power_at():
+    t = trace()
+    assert t.power_at(0.5, PKG) == 10.0
+    assert t.power_at(2.0, PKG) == 20.0
+    assert t.power_at(3.5, PKG) == 30.0
+    assert t.power_at(5.0, PKG) == 0.0  # past end
+    assert t.power_at(-1.0, PKG) == 0.0  # before start
+
+
+def test_overlapping_segments_rejected():
+    with pytest.raises(ValidationError):
+        PowerTrace([seg(0, 2, 1.0), seg(1, 3, 1.0)])
+
+
+def test_segments_sorted_automatically():
+    t = PowerTrace([seg(2, 3, 5.0), seg(0, 2, 1.0)])
+    assert t.t_start == 0 and t.t_end == 3
+
+
+def test_empty_trace_errors():
+    t = PowerTrace([])
+    with pytest.raises(MeasurementError):
+        _ = t.t_start
+    with pytest.raises(MeasurementError):
+        t.peak_power(PKG)
+    assert t.duration == 0.0
+
+
+def test_resample_period():
+    samples = trace().resample(0.5, PKG)
+    assert len(samples) == 8
+    assert samples[0] == (0.0, 10.0)
+    assert samples[-1][1] == 30.0
+    with pytest.raises(ValidationError):
+        trace().resample(0, PKG)
+
+
+def test_missing_plane_reads_zero():
+    assert trace().energy(Plane.DRAM) == 0.0
+
+
+def test_concat():
+    a = PowerTrace([seg(0, 1, 1.0)])
+    b = PowerTrace([seg(1, 2, 3.0)])
+    c = PowerTrace.concat([a, b])
+    assert c.energy(PKG) == pytest.approx(4.0)
+    assert len(c) == 2
+
+
+def test_planes_listing():
+    t = PowerTrace([PowerSegment(0, 1, {PKG: 1.0, Plane.DRAM: 0.5})])
+    assert t.planes() == {PKG, Plane.DRAM}
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=20))
+def test_trace_energy_equals_sum_of_segment_energies(watts):
+    segs = [seg(i, i + 1, w) for i, w in enumerate(watts)]
+    t = PowerTrace(segs)
+    assert t.energy(PKG) == pytest.approx(sum(watts))
+    assert t.peak_power(PKG) == max(watts)

@@ -1,0 +1,49 @@
+"""ASCII chart renderer."""
+
+import pytest
+
+from repro.reporting.ascii import AsciiChart
+from repro.util.errors import ValidationError
+
+
+def test_single_series_renders():
+    chart = AsciiChart(width=30, height=8)
+    out = chart.render({"a": [(1, 1), (2, 2), (3, 3)]}, title="T")
+    assert "T" in out
+    assert "o a" in out  # legend with marker
+
+
+def test_markers_differ_per_series():
+    chart = AsciiChart(width=30, height=8)
+    out = chart.render({"a": [(1, 1), (2, 2)], "b": [(1, 2), (2, 1)]})
+    assert "o a" in out and "x b" in out
+    assert "o" in out.split("b")[0]
+
+
+def test_empty_rejected():
+    with pytest.raises(ValidationError):
+        AsciiChart().render({})
+    with pytest.raises(ValidationError):
+        AsciiChart().render({"a": []})
+
+
+def test_axis_labels_present():
+    out = AsciiChart(width=20, height=5).render(
+        {"a": [(0, 0), (10, 40)]}, xlabel="threads", ylabel="watts"
+    )
+    assert "threads" in out
+    assert "watts" in out
+    assert "40" in out  # y max label
+    assert "10" in out  # x max label
+
+
+def test_canvas_size_respected():
+    chart = AsciiChart(width=25, height=6)
+    out = chart.render({"a": [(0, 0), (1, 1)]})
+    plot_lines = [l for l in out.splitlines() if "|" in l]
+    assert len(plot_lines) == 6
+
+
+def test_constant_series_no_crash():
+    out = AsciiChart().render({"flat": [(1, 5), (2, 5), (3, 5)]})
+    assert "flat" in out

@@ -1,0 +1,37 @@
+"""Gantt rendering."""
+
+import pytest
+
+from repro.reporting.gantt import render_gantt
+from repro.runtime.cost import TaskCost
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.task import TaskGraph
+from repro.util.errors import ValidationError
+
+
+def test_render_shows_cores_and_utilization(machine):
+    g = TaskGraph()
+    for i in range(4):
+        g.add(f"t{i}", TaskCost(flops=1e9))
+    sched = Scheduler(machine, threads=2).run(g)
+    out = render_gantt(sched, width=20)
+    assert "core 0:" in out and "core 1:" in out
+    assert "#" in out
+    assert "2 threads" in out
+
+
+def test_idle_core_shows_dots(machine):
+    g = TaskGraph()
+    g.add("only", TaskCost(flops=1e9))
+    sched = Scheduler(machine, threads=2).run(g)
+    out = render_gantt(sched, width=10)
+    lines = out.splitlines()
+    assert lines[2].endswith("." * 10)  # second core idle
+
+
+def test_width_validation(machine):
+    g = TaskGraph()
+    g.add("t", TaskCost(flops=1e9))
+    sched = Scheduler(machine, threads=1).run(g)
+    with pytest.raises(ValidationError):
+        render_gantt(sched, width=2)

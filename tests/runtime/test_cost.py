@@ -1,0 +1,92 @@
+"""TaskCost algebra."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.cost import TaskCost, ZERO_COST
+from repro.util.errors import ValidationError
+
+
+def test_zero_cost():
+    assert ZERO_COST.is_zero
+    assert ZERO_COST.total_bytes == 0
+    assert not TaskCost(flops=1).is_zero
+    assert not TaskCost(bytes_dram=1).is_zero
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        TaskCost(flops=-1)
+    with pytest.raises(ValidationError):
+        TaskCost(efficiency=0)
+    with pytest.raises(ValidationError):
+        TaskCost(efficiency=1.5)
+    with pytest.raises(ValidationError):
+        TaskCost(bytes_l3=-1)
+
+
+def test_arithmetic_intensity():
+    c = TaskCost(flops=100, bytes_dram=50)
+    assert c.arithmetic_intensity() == 2.0
+    assert TaskCost(flops=10).arithmetic_intensity() == float("inf")
+
+
+def test_add_sums_demands():
+    a = TaskCost(flops=10, bytes_l1=1, bytes_l2=2, bytes_l3=3, bytes_dram=4)
+    b = TaskCost(flops=20, bytes_l1=5, bytes_l2=6, bytes_l3=7, bytes_dram=8)
+    c = a + b
+    assert c.flops == 30
+    assert (c.bytes_l1, c.bytes_l2, c.bytes_l3, c.bytes_dram) == (6, 8, 10, 12)
+
+
+def test_add_preserves_compute_time():
+    """The merged efficiency must keep total flop time invariant."""
+    a = TaskCost(flops=100, efficiency=0.5)
+    b = TaskCost(flops=300, efficiency=1.0)
+    c = a + b
+    t_separate = 100 / 0.5 + 300 / 1.0
+    t_merged = c.flops / c.efficiency
+    assert t_merged == pytest.approx(t_separate)
+
+
+def test_add_zero_flops_efficiency():
+    c = TaskCost(bytes_dram=10) + TaskCost(bytes_dram=5)
+    assert c.efficiency == 1.0
+    assert c.bytes_dram == 15
+
+
+def test_scaled():
+    c = TaskCost(flops=10, efficiency=0.4, bytes_dram=100).scaled(0.5)
+    assert c.flops == 5
+    assert c.bytes_dram == 50
+    assert c.efficiency == 0.4
+
+
+def test_scaled_rejects_negative():
+    with pytest.raises(ValidationError):
+        TaskCost(flops=1).scaled(-1)
+
+
+def test_with_efficiency():
+    c = TaskCost(flops=10, efficiency=0.5).with_efficiency(0.9)
+    assert c.efficiency == 0.9
+    assert c.flops == 10
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    f1=st.floats(min_value=0, max_value=1e9),
+    f2=st.floats(min_value=0, max_value=1e9),
+    e1=st.floats(min_value=0.05, max_value=1.0),
+    e2=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_add_commutative_and_time_preserving(f1, f2, e1, e2):
+    a = TaskCost(flops=f1, efficiency=e1)
+    b = TaskCost(flops=f2, efficiency=e2)
+    ab, ba = a + b, b + a
+    assert ab.flops == ba.flops
+    assert ab.efficiency == pytest.approx(ba.efficiency)
+    if ab.flops > 0:
+        assert ab.flops / ab.efficiency == pytest.approx(
+            f1 / e1 + f2 / e2, rel=1e-9
+        )

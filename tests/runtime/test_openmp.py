@@ -1,0 +1,115 @@
+"""OpenMP-like graph builder."""
+
+import pytest
+
+from repro.runtime.cost import TaskCost
+from repro.runtime.openmp import OpenMP, omp_num_threads
+from repro.util.errors import ConfigurationError
+
+
+def test_omp_num_threads_env():
+    assert omp_num_threads(default=2, environ={}) == 2
+    assert omp_num_threads(environ={"OMP_NUM_THREADS": "3"}) == 3
+    with pytest.raises(ConfigurationError):
+        omp_num_threads(environ={"OMP_NUM_THREADS": "abc"})
+    with pytest.raises(Exception):
+        omp_num_threads(environ={"OMP_NUM_THREADS": "0"})
+
+
+def test_task_and_taskwait():
+    omp = OpenMP("g", 4)
+    a = omp.task("a", TaskCost(flops=1))
+    b = omp.task("b", TaskCost(flops=1))
+    j = omp.taskwait([a, b])
+    assert j.cost.is_zero
+    assert set(j.deps) == {a.tid, b.tid}
+
+
+def test_parallel_for_chunk_count_defaults_to_threads():
+    omp = OpenMP("g", 4)
+    join = omp.parallel_for("loop", TaskCost(flops=100))
+    g = omp.graph
+    chunks = [t for t in g if t.name.startswith("loop[")]
+    assert len(chunks) == 4
+    assert join.deps == tuple(t.tid for t in chunks)
+
+
+def test_parallel_for_splits_cost_evenly():
+    omp = OpenMP("g", 4)
+    omp.parallel_for("loop", TaskCost(flops=100, bytes_dram=40))
+    chunks = [t for t in omp.graph if t.name.startswith("loop[")]
+    assert all(t.cost.flops == 25 for t in chunks)
+    assert all(t.cost.bytes_dram == 10 for t in chunks)
+
+
+def test_parallel_for_total_work_preserved():
+    omp = OpenMP("g", 3)
+    omp.parallel_for("loop", TaskCost(flops=99))
+    total = sum(t.cost.flops for t in omp.graph)
+    assert total == pytest.approx(99)
+
+
+def test_parallel_for_without_join_returns_chunks():
+    omp = OpenMP("g", 2)
+    chunks = omp.parallel_for("loop", TaskCost(flops=10), join=False)
+    assert isinstance(chunks, list) and len(chunks) == 2
+
+
+def test_parallel_for_computes_length_checked():
+    omp = OpenMP("g", 2)
+    with pytest.raises(ConfigurationError):
+        omp.parallel_for("loop", TaskCost(flops=10), chunk_computes=[None])
+
+
+def test_parallel_for_chunk_computes_attached():
+    hits = []
+    omp = OpenMP("g", 2)
+    omp.parallel_for(
+        "loop",
+        TaskCost(flops=10),
+        chunk_computes=[lambda: hits.append(0), lambda: hits.append(1)],
+    )
+    for t in omp.graph:
+        if t.compute:
+            t.compute()
+    assert sorted(hits) == [0, 1]
+
+
+def test_sections():
+    omp = OpenMP("g", 2)
+    join = omp.sections("sec", [TaskCost(flops=1), TaskCost(flops=2)])
+    secs = [t for t in omp.graph if "/sec" in t.name]
+    assert len(secs) == 2
+    assert len(join.deps) == 2
+
+
+def test_sections_computes_mismatch():
+    omp = OpenMP("g", 2)
+    with pytest.raises(ConfigurationError):
+        omp.sections("sec", [TaskCost(flops=1)], computes=[None, None])
+
+
+def test_barrier_joins_all_sinks():
+    omp = OpenMP("g", 2)
+    a = omp.task("a")
+    b = omp.task("b")
+    bar = omp.barrier()
+    assert set(bar.deps) == {a.tid, b.tid}
+
+
+def test_single():
+    omp = OpenMP("g", 4)
+    t = omp.single("only", TaskCost(flops=5))
+    assert t.cost.flops == 5
+
+
+def test_dependencies_chain_through_regions(machine):
+    from repro.runtime.scheduler import Scheduler
+
+    omp = OpenMP("g", 2)
+    first = omp.parallel_for("phase1", TaskCost(flops=2e9))
+    omp.parallel_for("phase2", TaskCost(flops=2e9), deps=[first])
+    sched = Scheduler(machine, threads=2).run(omp.graph)
+    p1_end = max(r.end for r in sched.records if r.name.startswith("phase1["))
+    p2_start = min(r.start for r in sched.records if r.name.startswith("phase2["))
+    assert p2_start >= p1_end - 1e-12

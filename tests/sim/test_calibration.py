@@ -1,0 +1,90 @@
+"""Calibration machinery: coordinate descent and the paper-target score."""
+
+import pytest
+
+from repro.sim.calibration import (
+    PAPER_TARGETS,
+    CalibrationResult,
+    calibrate,
+    score_study,
+)
+from repro.util.errors import CalibrationError
+
+
+class TestCoordinateDescent:
+    def test_minimizes_quadratic(self):
+        objective = lambda p: (p["x"] - 3.0) ** 2 + (p["y"] + 1.0) ** 2
+        res = calibrate(
+            objective,
+            initial={"x": 0.0, "y": 0.0},
+            steps={"x": 1.0, "y": 1.0},
+            bounds={"x": (-10, 10), "y": (-10, 10)},
+            rounds=8,
+        )
+        assert res.loss < 0.1
+        assert res.params["x"] == pytest.approx(3.0, abs=0.3)
+        assert res.params["y"] == pytest.approx(-1.0, abs=0.3)
+
+    def test_respects_bounds(self):
+        objective = lambda p: (p["x"] - 100.0) ** 2
+        res = calibrate(
+            objective,
+            initial={"x": 0.0},
+            steps={"x": 4.0},
+            bounds={"x": (0.0, 5.0)},
+            rounds=6,
+        )
+        assert res.params["x"] <= 5.0
+
+    def test_never_worse_than_initial(self):
+        objective = lambda p: abs(p["x"])
+        res = calibrate(
+            objective,
+            initial={"x": 0.0},
+            steps={"x": 1.0},
+            bounds={"x": (-5, 5)},
+        )
+        assert res.loss <= objective({"x": 0.0})
+
+    def test_missing_bounds_detected(self):
+        with pytest.raises(CalibrationError):
+            calibrate(lambda p: 0.0, {"x": 0.0}, steps={"x": 1.0}, bounds={})
+
+    def test_evaluation_count_reported(self):
+        calls = []
+        res = calibrate(
+            lambda p: calls.append(1) or 0.0,
+            {"x": 0.0},
+            steps={"x": 1.0},
+            bounds={"x": (-1, 1)},
+            rounds=1,
+        )
+        assert res.evaluations == len(calls)
+        assert isinstance(res, CalibrationResult)
+
+
+class TestScore:
+    def test_shipped_defaults_score_well(self, machine):
+        """The calibrated defaults must stay close to the paper's
+        published tables (guards against regressions in the cost
+        models)."""
+        from repro import EnergyPerformanceStudy, StudyConfig
+
+        cfg = StudyConfig(sizes=(512, 1024), execute_max_n=0, verify=False)
+        result = EnergyPerformanceStudy(machine, config=cfg).run()
+        assert score_study(result, PAPER_TARGETS) < 1.5
+
+    def test_detuned_model_scores_worse(self, machine):
+        from repro import EnergyPerformanceStudy, StudyConfig
+        from repro.machine.energy import EnergyModel
+
+        bad = machine.with_energy(EnergyModel(package_static_w=60.0))
+        cfg = StudyConfig(sizes=(512,), execute_max_n=0, verify=False)
+        good_res = EnergyPerformanceStudy(machine, config=cfg).run()
+        bad_res = EnergyPerformanceStudy(bad, config=cfg).run()
+        assert score_study(bad_res) > score_study(good_res)
+
+    def test_paper_targets_values(self):
+        assert PAPER_TARGETS.slowdown["strassen"] == pytest.approx(2.965)
+        assert PAPER_TARGETS.slowdown["caps"] == pytest.approx(2.788)
+        assert PAPER_TARGETS.power_by_threads["openblas"][3] == pytest.approx(49.13)

@@ -1,0 +1,91 @@
+"""RunMeasurement invariants and accessors."""
+
+import pytest
+
+from repro.machine.energy import PlaneEnergy
+from repro.power.planes import Plane
+from repro.power.sampling import PowerSegment, PowerTrace
+from repro.runtime.stats import RuntimeStats
+from repro.sim.measurement import RunMeasurement
+from repro.util.errors import MeasurementError, SimulationError
+
+
+def make(elapsed=2.0, pkg=40.0, pp0=25.0, dram=4.0, busy=6.0, threads=4):
+    trace = PowerTrace(
+        [
+            PowerSegment(
+                0.0,
+                elapsed,
+                {
+                    Plane.PACKAGE: pkg / elapsed,
+                    Plane.PP0: pp0 / elapsed,
+                    Plane.DRAM: dram / elapsed,
+                },
+            )
+        ]
+    )
+    stats = RuntimeStats(
+        makespan=elapsed,
+        busy_core_seconds=busy,
+        threads=threads,
+        task_count=3,
+        avg_parallelism=busy / elapsed,
+        utilization=busy / elapsed / threads,
+        imbalance=1.0,
+        migrations=0,
+        steals=0,
+    )
+    return RunMeasurement(
+        label="t",
+        threads=threads,
+        elapsed_s=elapsed,
+        energy=PlaneEnergy(pkg, pp0, dram),
+        trace=trace,
+        flops=1e9,
+        bytes_dram=1e8,
+        stats=stats,
+    )
+
+
+def test_energy_accessors():
+    m = make()
+    assert m.energy_j(Plane.PACKAGE) == 40.0
+    assert m.energy_j(Plane.PP0) == 25.0
+    assert m.energy_j(Plane.DRAM) == 4.0
+    with pytest.raises(MeasurementError):
+        m.energy_j(Plane.PSYS)
+
+
+def test_avg_and_peak_power():
+    m = make()
+    assert m.avg_power_w() == pytest.approx(20.0)
+    assert m.peak_power_w() == pytest.approx(20.0)
+
+
+def test_gflops():
+    assert make().gflops == pytest.approx(0.5)
+
+
+def test_total_energy_no_double_count():
+    assert make().total_energy_j == pytest.approx(44.0)
+
+
+def test_invariants_pass():
+    make().check_invariants()
+
+
+def test_invariant_pp0_exceeds_package():
+    m = make(pkg=10.0, pp0=20.0)
+    with pytest.raises(SimulationError):
+        m.check_invariants()
+
+
+def test_invariant_busy_exceeds_capacity():
+    m = make(busy=100.0, threads=2)
+    with pytest.raises(SimulationError):
+        m.check_invariants()
+
+
+def test_summary_format():
+    s = make().summary()
+    assert "t:" in s and "W" in s and "Gflop/s" in s

@@ -1,0 +1,70 @@
+"""Synthetic sparse patterns."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.generators import banded, power_law, uniform_random
+from repro.util.errors import ValidationError
+
+
+class TestBanded:
+    def test_band_structure(self):
+        m = banded(16, 2, seed=0)
+        d = m.to_dense()
+        rows, cols = np.nonzero(d)
+        assert np.all(np.abs(rows - cols) <= 2)
+
+    def test_band_is_full(self):
+        m = banded(10, 1, seed=0)
+        # Tridiagonal: 3n - 2 entries.
+        assert m.nnz == 3 * 10 - 2
+
+    def test_diagonal_only(self):
+        assert banded(8, 0, seed=0).nnz == 8
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValidationError):
+            banded(8, 8)
+
+    def test_deterministic(self):
+        a = banded(8, 1, seed=5)
+        b = banded(8, 1, seed=5)
+        assert np.array_equal(a.values, b.values)
+
+
+class TestUniformRandom:
+    def test_density_approximate(self):
+        m = uniform_random(64, 0.1, seed=1)
+        target = 0.1 * 64 * 64
+        assert 0.5 * target <= m.nnz <= 1.5 * target
+
+    def test_no_empty_rows(self):
+        m = uniform_random(32, 0.02, seed=2)
+        d = m.to_dense()
+        assert np.all((d != 0).sum(axis=1) >= 1)
+
+    def test_density_bounds(self):
+        with pytest.raises(ValidationError):
+            uniform_random(8, 1.5)
+
+
+class TestPowerLaw:
+    def test_skewed_degrees(self):
+        m = power_law(128, avg_degree=6, alpha=1.8, seed=3)
+        degrees = np.bincount(m.rows, minlength=128)
+        assert degrees.max() >= 3 * np.median(degrees)
+
+    def test_every_row_nonempty(self):
+        m = power_law(64, avg_degree=4, seed=4)
+        assert np.all(np.bincount(m.rows, minlength=64) >= 1)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValidationError):
+            power_law(16, 4, alpha=1.0)
+
+    def test_defeats_ell(self):
+        """The skew makes ELL pad heavily — why storage choice matters."""
+        from repro.sparse.formats import ELLMatrix
+
+        m = ELLMatrix.from_coo(power_law(128, avg_degree=4, alpha=1.6, seed=5))
+        assert m.pad_ratio > 0.4

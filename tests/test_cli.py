@@ -1,0 +1,132 @@
+"""CLI subcommands (invoked in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_describe(capsys):
+    code, out, _ = run(capsys, "describe")
+    assert code == 0
+    assert "haswell-e3-1225" in out
+    assert "204.8 Gflop/s" in out
+
+
+def test_describe_custom_machine(capsys):
+    code, out, _ = run(capsys, "describe", "--cores", "8", "--channels", "2")
+    assert code == 0
+    assert "generic-smp-8c" in out
+
+
+def test_study_small(capsys):
+    code, out, _ = run(
+        capsys,
+        "study",
+        "--sizes", "128", "256",
+        "--threads", "1", "2",
+        "--execute-max-n", "0",
+        "--no-verify",
+    )
+    assert code == 0
+    assert "Table II" in out and "Table III" in out and "Table IV" in out
+    assert "Strassen" in out and "CAPS" in out
+
+
+def test_study_markdown_format(capsys):
+    code, out, _ = run(
+        capsys,
+        "--format", "markdown",
+        "study", "--sizes", "128", "--threads", "1",
+        "--execute-max-n", "0", "--no-verify",
+    )
+    assert code == 0
+    assert "| OpenBLAS |" in out
+
+
+def test_choose_with_generous_cap(capsys):
+    code, out, _ = run(
+        capsys, "choose", "--n", "128", "--threads", "1", "2", "--cap", "500"
+    )
+    assert code == 0
+    assert "best under 500.0 W" in out
+    assert "openblas" in out
+
+
+def test_choose_impossible_cap_exit_code(capsys):
+    code, out, _ = run(
+        capsys, "choose", "--n", "128", "--threads", "1", "--cap", "0.5"
+    )
+    assert code == 1
+    assert "no configuration fits" in out
+
+
+def test_crossover(capsys):
+    code, out, _ = run(capsys, "crossover")
+    assert code == 0
+    assert "crossover n" in out
+    assert "False" in out  # paper platform: unreachable
+
+
+def test_bounds(capsys):
+    code, out, _ = run(capsys, "bounds", "--n", "4096", "--procs", "49")
+    assert code == 0
+    assert "memory-dependent" in out or "memory-independent" in out
+
+
+def test_sparse(capsys):
+    code, out, _ = run(
+        capsys, "sparse", "--pattern", "banded", "--n", "128", "--repeats", "2"
+    )
+    assert code == 0
+    assert "CSR" in out and "BSR" in out
+
+
+def test_distributed(capsys):
+    code, out, _ = run(capsys, "distributed", "--n", "4096", "--nodes", "1", "4")
+    assert code == 0
+    assert "CAPS (dist)" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_parser_help_lists_subcommands():
+    parser = build_parser()
+    help_text = parser.format_help()
+    for cmd in ("describe", "study", "choose", "crossover", "bounds", "sparse", "distributed"):
+        assert cmd in help_text
+
+
+def test_trace_command(capsys, tmp_path):
+    out_path = tmp_path / "trace.json"
+    code, out, _ = run(
+        capsys, "trace", "--alg", "strassen", "--n", "256", "--threads", "2",
+        "--out", str(out_path),
+    )
+    assert code == 0
+    assert "core 0:" in out
+    assert out_path.exists()
+    import json
+
+    data = json.loads(out_path.read_text())
+    assert data["traceEvents"]
+
+
+def test_trace_command_steal_policy(capsys):
+    code, out, _ = run(capsys, "trace", "--alg", "caps", "--n", "128", "--policy", "steal")
+    assert code == 0
+    assert "Gflop/s" in out
+
+
+def test_trace_unknown_algorithm(capsys):
+    code, _, err = run(capsys, "trace", "--alg", "magma")
+    assert code == 2
+    assert "error" in err

@@ -1,0 +1,111 @@
+"""End-to-end reproduction checks (DESIGN §4 acceptance criteria).
+
+Runs a reduced version of the paper's execution matrix with full
+numerics + verification and asserts the *shapes* the paper reports:
+who wins, by roughly what factor, and how the energy-performance
+scaling classes fall out.
+"""
+
+import pytest
+
+from repro import EnergyPerformanceStudy, StudyConfig, haswell_e3_1225
+from repro.core import table2_slowdown, table3_power, table4_ep
+from repro.core.scaling import ScalingClass
+
+
+@pytest.fixture(scope="module")
+def result():
+    machine = haswell_e3_1225()
+    cfg = StudyConfig(sizes=(256, 512), threads=(1, 2, 4), execute_max_n=256)
+    return EnergyPerformanceStudy(machine, config=cfg).run()
+
+
+class TestCriterion1Performance:
+    def test_openblas_fastest_everywhere(self, result):
+        for n in result.config.sizes:
+            for p in result.config.threads:
+                assert result.slowdown("strassen", n, p) > 1.0
+                assert result.slowdown("caps", n, p) > 1.0
+
+    def test_strassen_family_roughly_3x_slower(self, result):
+        assert 2.0 < result.avg_slowdown("strassen") < 4.5
+        assert 2.0 < result.avg_slowdown("caps") < 4.0
+
+    def test_caps_faster_than_strassen_on_average(self, result):
+        """Table II: CAPS beats classic Strassen (paper: 5.97%)."""
+        assert result.avg_slowdown("caps") < result.avg_slowdown("strassen")
+
+
+class TestCriterion2And3Power:
+    def test_openblas_highest_power_at_full_threads(self, result):
+        pmax = max(result.config.threads)
+        for n in result.config.sizes:
+            ob = result.power_w("openblas", n, pmax)
+            assert ob > result.power_w("strassen", n, pmax)
+            assert ob > result.power_w("caps", n, pmax)
+
+    def test_openblas_power_grows_steeply(self, result):
+        watts = result.avg_power_by_threads("openblas")
+        assert watts[4] / watts[1] > 2.0
+
+    def test_strassen_family_power_flatter(self, result):
+        ob = result.avg_power_by_threads("openblas")
+        for alg in ("strassen", "caps"):
+            w = result.avg_power_by_threads(alg)
+            assert (w[4] - w[1]) < (ob[4] - ob[1])
+
+    def test_caps_lowest_power_at_one_thread(self, result):
+        """Paper Table III: CAPS 1-thread average is the lowest row."""
+        w1 = {alg: result.avg_power_by_threads(alg)[1] for alg in result.algorithm_names}
+        assert w1["caps"] <= w1["strassen"]
+
+
+class TestCriterion4EnergyPerformance:
+    def test_table4_ordering(self, result):
+        """OpenBLAS EP >> CAPS >= Strassen at every size."""
+        for n in result.config.sizes:
+            ob = result.avg_ep_by_size("openblas")[n]
+            st = result.avg_ep_by_size("strassen")[n]
+            ca = result.avg_ep_by_size("caps")[n]
+            assert ob > 2 * max(st, ca)
+            assert ca >= st * 0.9  # CAPS slightly above Strassen
+
+    def test_ep_falls_steeply_with_size(self, result):
+        for alg in result.algorithm_names:
+            by_size = result.avg_ep_by_size(alg)
+            assert by_size[256] > 4 * by_size[512]
+
+
+class TestCriterion5ScalingClasses:
+    def test_openblas_superlinear(self, result):
+        """Fig. 7: OpenBLAS falls well beyond the linear scale."""
+        for n in result.config.sizes:
+            pts = result.scaling_curve("openblas", n)
+            assert pts[-1].scaling_class is ScalingClass.SUPERLINEAR
+            assert pts[-1].s > 1.5 * pts[-1].parallelism
+
+    def test_strassen_at_or_below_linear(self, result):
+        for n in result.config.sizes:
+            pts = result.scaling_curve("strassen", n)
+            assert pts[-1].s <= pts[-1].parallelism * 1.05
+
+    def test_caps_closer_to_linear_than_strassen(self, result):
+        """Fig. 7: 'our CAPS implementation is slightly closer to the
+        linear scale than the classic Strassen implementation'."""
+        pmax = max(result.config.threads)
+        for n in result.config.sizes:
+            s_str = result.scaling_curve("strassen", n)[-1]
+            s_caps = result.scaling_curve("caps", n)[-1]
+            assert abs(s_caps.distance_to_linear) <= abs(s_str.distance_to_linear)
+
+
+class TestNumericalVerification:
+    def test_executed_runs_were_verified(self, result):
+        # The fixture ran with verify=True and execute_max_n=256; a
+        # verification failure would have raised during the fixture.
+        assert result.measurement("strassen", 256, 4).flops > 0
+
+    def test_tables_render(self, result):
+        for table in (table2_slowdown(result), table3_power(result), table4_ep(result)):
+            text = table.to_ascii()
+            assert len(text.splitlines()) >= 3

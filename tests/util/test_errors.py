@@ -1,0 +1,42 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.util.errors import (
+    CalibrationError,
+    ConfigurationError,
+    MeasurementError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    ValidationError,
+)
+
+ALL = [
+    ConfigurationError,
+    ValidationError,
+    SchedulingError,
+    SimulationError,
+    MeasurementError,
+    CalibrationError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+@pytest.mark.parametrize("exc", ALL)
+def test_catchable_as_repro_error(exc):
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_subclasses_are_distinct():
+    assert not issubclass(ValidationError, ConfigurationError)
+    assert not issubclass(ConfigurationError, ValidationError)

@@ -1,0 +1,67 @@
+"""TextTable rendering."""
+
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.tables import TextTable, format_cell
+
+
+def test_format_cell_float_precision():
+    assert format_cell(3.14159, 3) == "3.142"
+    assert format_cell(0) == "0"
+    assert format_cell(0.0) == "0"
+
+
+def test_format_cell_large_and_small_use_general():
+    assert "e" in format_cell(6356.33e2) or format_cell(635633.0) == "6.36e+05"
+    assert format_cell(1e-5, 3) == "1e-05"
+
+
+def test_format_cell_str_passthrough():
+    assert format_cell("OpenBLAS") == "OpenBLAS"
+
+
+def _sample():
+    t = TextTable(["Alg", "512", "Avg"])
+    t.add_row("Strassen", 2.872, 2.965)
+    t.add_row("CAPS", 2.840, 2.788)
+    return t
+
+
+def test_row_width_mismatch_raises():
+    t = TextTable(["a", "b"])
+    with pytest.raises(ValidationError):
+        t.add_row(1)
+
+
+def test_ascii_has_header_and_rule():
+    text = _sample().to_ascii()
+    lines = text.splitlines()
+    assert "Alg" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+    assert "Strassen" in lines[2]
+
+
+def test_ascii_columns_aligned():
+    lines = _sample().to_ascii().splitlines()
+    assert len({len(line) for line in lines}) == 1
+
+
+def test_markdown_shape():
+    md = _sample().to_markdown()
+    lines = md.splitlines()
+    assert lines[0].startswith("| Alg")
+    assert lines[1].startswith("|---")
+    assert len(lines) == 4
+
+
+def test_csv():
+    csv = _sample().to_csv()
+    assert csv.splitlines()[0] == "Alg,512,Avg"
+    assert "Strassen" in csv
+
+
+def test_extend():
+    t = TextTable(["a"])
+    t.extend([[1], [2]])
+    assert len(t.rows) == 2

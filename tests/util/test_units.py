@@ -1,0 +1,52 @@
+"""Unit constants and formatting."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_binary_multiples():
+    assert units.KiB == 1024
+    assert units.MiB == 1024**2
+    assert units.GiB == 1024**3
+
+
+def test_decimal_multiples():
+    assert units.KB == 1_000
+    assert units.MB == 1_000_000
+    assert units.GB == 1_000_000_000
+
+
+def test_frequency_constants():
+    assert units.GHZ == 1e9
+    assert units.MHZ == 1e6
+
+
+def test_fmt_bytes_scales():
+    assert units.fmt_bytes(8 * units.MiB) == "8 MiB"
+    assert units.fmt_bytes(512) == "512 B"
+    assert "GiB" in units.fmt_bytes(4 * units.GiB)
+
+
+def test_fmt_hz():
+    assert units.fmt_hz(3.2 * units.GHZ) == "3.2 GHz"
+    assert "kHz" in units.fmt_hz(5_000)
+
+
+def test_fmt_seconds_scales_down():
+    assert units.fmt_seconds(2.0) == "2 s"
+    assert "ms" in units.fmt_seconds(5e-3)
+    assert "us" in units.fmt_seconds(5e-6)
+    assert "ns" in units.fmt_seconds(5e-9)
+    assert units.fmt_seconds(0) == "0 s"
+
+
+def test_fmt_watts_and_joules():
+    assert units.fmt_watts(35.3) == "35.3 W"
+    assert units.fmt_joules(12.5) == "12.5 J"
+    assert "mJ" in units.fmt_joules(5e-3)
+
+
+def test_fmt_flops():
+    assert "Gflop" in units.fmt_flops(204.8e9)
+    assert "Mflop" in units.fmt_flops(3e6)

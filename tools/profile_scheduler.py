@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Profile the simulator's hot paths (the optimization-guide workflow:
+no optimization without measuring).
+
+Runs cProfile over a representative workload — Strassen at n=2048, four
+threads — and prints the top functions by cumulative time, so changes to
+the scheduler or cost models can be checked for regressions.
+
+Run:  python tools/profile_scheduler.py [--n 2048] [--top 15]
+"""
+
+import argparse
+import cProfile
+import pstats
+import io
+
+from repro.machine import haswell_e3_1225
+from repro.algorithms import StrassenWinograd
+from repro.sim import Engine
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--n", type=int, default=2048)
+    ap.add_argument("--threads", type=int, default=4)
+    ap.add_argument("--top", type=int, default=15)
+    args = ap.parse_args()
+
+    machine = haswell_e3_1225()
+    alg = StrassenWinograd(machine)
+    build = alg.build(args.n, args.threads, execute=False)
+    engine = Engine(machine)
+    print(f"profiling: strassen n={args.n}, {len(build.graph)} tasks\n")
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    measurement = engine.run(build.graph, args.threads, execute=False)
+    profiler.disable()
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    print(stream.getvalue())
+    print(measurement.summary())
+
+
+if __name__ == "__main__":
+    main()
