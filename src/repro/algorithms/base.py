@@ -10,6 +10,7 @@ results can be verified against ``numpy.matmul``).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,7 +22,12 @@ from ..runtime.task import TaskGraph
 from ..util.errors import ConfigurationError, ValidationError
 from ..util.validation import require_positive
 
-__all__ = ["BuildResult", "MatmulAlgorithm"]
+__all__ = [
+    "BuildCache",
+    "BuildResult",
+    "MatmulAlgorithm",
+    "default_build_cache",
+]
 
 
 @dataclass
@@ -69,6 +75,95 @@ class BuildResult:
         return verify_matmul(self.a, self.b, self.c, self.variant, self.cutoff)
 
 
+class BuildCache:
+    """Process-wide LRU of lowered problem instances.
+
+    Lowering is a measured hot path (a Strassen 512² lowering costs
+    milliseconds, and the protocol driver re-lowers the *same* cell for
+    every repetition), so identical builds are memoized.  The key is
+    ``(algorithm instance, n, threads, seed, execute)`` — the instance
+    stands in for (machine, algorithm, configuration), which it
+    determines completely; entries keep a strong reference to the
+    instance so the identity can never be recycled while cached.
+
+    Sharing semantics
+    -----------------
+    * **Cost-only builds** (``execute=False``) are immutable: their
+      graphs carry no compute closures and no operand arrays, and
+      scheduling one never mutates it.  The cache therefore returns the
+      *same* :class:`BuildResult` to every caller — which is also what
+      lets the fast engine's per-graph seat-plan cache amortize across
+      protocol repetitions and study repeats.
+    * **Executed builds** (``execute=True``) bind operand arrays into
+      task closures and accumulate into ``C`` when run, so a stored
+      instance would be corrupted by its first execution.  The cache
+      *re-lowers* on every request instead: deterministic operand
+      seeding makes each fresh build an exact clone, and mutating one
+      build can never leak into the next.
+    """
+
+    def __init__(self, maxsize: int = 64):
+        require_positive(maxsize, "maxsize")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, tuple[object, BuildResult]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        """Hit/miss counters plus current occupancy (diagnostics)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+    def get_or_build(
+        self,
+        alg: "MatmulAlgorithm",
+        n: int,
+        threads: int,
+        seed: int = 0,
+        execute: bool = True,
+    ) -> BuildResult:
+        """Return a build for *(alg, n, threads, seed, execute)*,
+        reusing a cached cost-only lowering when one exists."""
+        if execute:
+            # Never cached — see the class docstring.
+            self.misses += 1
+            return alg.build(n, threads, seed=seed, execute=True)
+        key = (id(alg), n, threads, seed)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is alg:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        build = alg.build(n, threads, seed=seed, execute=False)
+        self._entries[key] = (alg, build)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return build
+
+
+#: Default process-wide cache used by :meth:`MatmulAlgorithm.build_cached`.
+_DEFAULT_CACHE = BuildCache()
+
+
+def default_build_cache() -> BuildCache:
+    """The process-wide :class:`BuildCache` (one per worker process)."""
+    return _DEFAULT_CACHE
+
+
 class MatmulAlgorithm(ABC):
     """Base class: builds task graphs for ``C = A @ B`` on a machine."""
 
@@ -98,6 +193,25 @@ class MatmulAlgorithm(ABC):
         schedules depend on the team size); ``execute=False`` skips all
         array allocation and numpy closures.
         """
+
+    def build_cached(
+        self,
+        n: int,
+        threads: int,
+        seed: int = 0,
+        execute: bool = True,
+        cache: BuildCache | None = None,
+    ) -> BuildResult:
+        """Like :meth:`build`, but memoized through a :class:`BuildCache`
+        (the process-wide default unless *cache* is given).
+
+        Cost-only results are shared — treat them as immutable.
+        Executed results are always freshly lowered (see
+        :class:`BuildCache` for why) and safe to run and mutate.
+        """
+        if cache is None:
+            cache = _DEFAULT_CACHE
+        return cache.get_or_build(self, n, threads, seed=seed, execute=execute)
 
     def memory_footprint_bytes(self, n: int) -> float:
         """Resident bytes the algorithm needs (operands + temporaries).

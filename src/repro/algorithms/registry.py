@@ -11,12 +11,18 @@ from typing import Callable
 
 from ..machine.specs import MachineSpec
 from ..util.errors import ConfigurationError
-from .base import MatmulAlgorithm
+from .base import BuildCache, MatmulAlgorithm, default_build_cache
 from .blocked import BlockedGemm
 from .caps import CapsStrassen
 from .strassen import StrassenWinograd
 
-__all__ = ["ALGORITHMS", "make_algorithm", "paper_algorithms"]
+__all__ = [
+    "ALGORITHMS",
+    "BuildCache",
+    "default_build_cache",
+    "make_algorithm",
+    "paper_algorithms",
+]
 
 ALGORITHMS: dict[str, Callable[..., MatmulAlgorithm]] = {
     "openblas": BlockedGemm,

@@ -130,7 +130,11 @@ class ExperimentProtocol:
                             self.engine.idle_measurement(
                                 self.quiesce_s, label="quiesce"
                             )
-                        build = alg.build(n, p, seed=seed, execute=execute)
+                        # Repetitions reuse one lowering in cost-only
+                        # mode (the graph is immutable under simulation);
+                        # executed trials re-lower so each repetition
+                        # accumulates into its own fresh C.
+                        build = alg.build_cached(n, p, seed=seed, execute=execute)
                         trials.append(
                             self.engine.run(
                                 build.graph, p, execute=execute,

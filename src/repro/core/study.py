@@ -16,6 +16,7 @@ Fig. 3), average power (Table III / Figs. 4-6) and EP values/scaling
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -230,34 +231,116 @@ class EnergyPerformanceStudy:
         self.config = config
         self.engine = engine or Engine(machine)
 
-    def run(self) -> StudyResult:
-        """Execute the full matrix."""
+    def run(self, parallel: int | None = None) -> StudyResult:
+        """Execute the full matrix.
+
+        Parameters
+        ----------
+        parallel:
+            ``None``/``0``/``1`` runs the cells serially (in the
+            paper's table order).  ``N > 1`` fans the independent
+            (algorithm, size, threads) cells across a process pool of
+            ``N`` workers.  The result is deterministic and identical
+            to the serial run: cells are merged back in the serial
+            iteration order regardless of completion order, and worker
+            engines run without an MSR — the parent deposits every
+            cell's plane energies into its own MSR afterwards, again in
+            serial order, so a PAPI/RAPL reader wrapped around
+            :meth:`run` observes the same counter stream either way.
+        """
         result = StudyResult(
             machine=self.machine,
             config=self.config,
             algorithm_names=[a.name for a in self.algorithms],
             display_names={a.name: a.display_name for a in self.algorithms},
         )
-        for alg in self.algorithms:
-            for n in self.config.sizes:
-                for p in self.config.threads:
-                    result.runs[(alg.name, n, p)] = self._run_one(alg, n, p)
+        cells = [
+            (alg, n, p)
+            for alg in self.algorithms
+            for n in self.config.sizes
+            for p in self.config.threads
+        ]
+        if parallel is not None and parallel > 1 and len(cells) > 1:
+            self._run_parallel(result, cells, parallel)
+        else:
+            for alg, n, p in cells:
+                result.runs[(alg.name, n, p)] = self._run_one(alg, n, p)
         return result
 
     def _run_one(self, alg: MatmulAlgorithm, n: int, threads: int) -> RunMeasurement:
-        execute = n <= self.config.execute_max_n
-        build = alg.build(n, threads, seed=self.config.seed, execute=execute)
-        measurement = self.engine.run(
-            build.graph,
-            threads,
-            execute=execute,
-            label=f"{alg.name}[n={n},p={threads}]",
+        return _run_cell(
+            (
+                self.engine,
+                alg,
+                n,
+                threads,
+                self.config.seed,
+                n <= self.config.execute_max_n,
+                self.config.verify,
+            )
         )
-        if execute and self.config.verify:
-            report = build.verify()
-            if not report.ok:
-                raise ValidationError(
-                    f"{alg.display_name} n={n} p={threads}: numerical error "
-                    f"{report.abs_error:.3e} exceeds bound {report.bound:.3e}"
-                )
-        return measurement
+
+    def _run_parallel(
+        self,
+        result: StudyResult,
+        cells: list[tuple[MatmulAlgorithm, int, int]],
+        workers: int,
+    ) -> None:
+        """Fan *cells* over a process pool; merge deterministically."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Workers get an MSR-less copy of the engine: MSR deposits are
+        # replayed by the parent (below) so the counter stream matches
+        # the serial run, and emulated MSR files need not be picklable.
+        worker_engine = copy.copy(self.engine)
+        worker_engine.msr = None
+        payloads = [
+            (
+                worker_engine,
+                alg,
+                n,
+                p,
+                self.config.seed,
+                n <= self.config.execute_max_n,
+                self.config.verify,
+            )
+            for alg, n, p in cells
+        ]
+        with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+            futures = [pool.submit(_run_cell, payload) for payload in payloads]
+            # Merge in submission (= serial) order; a slow early cell
+            # simply makes later .result() calls return instantly.
+            measurements = [f.result() for f in futures]
+        msr = getattr(self.engine, "msr", None)
+        for (alg, n, p), measurement in zip(cells, measurements):
+            result.runs[(alg.name, n, p)] = measurement
+            if msr is not None:
+                energy = measurement.energy
+                msr.deposit_energy(Plane.PACKAGE, energy.package)
+                msr.deposit_energy(Plane.PP0, energy.pp0)
+                msr.deposit_energy(Plane.DRAM, energy.dram)
+
+
+def _run_cell(payload) -> RunMeasurement:
+    """Build, simulate and (optionally) verify one matrix cell.
+
+    Module-level so the parallel driver can send it to worker
+    processes; the serial path calls it in-process with the study's
+    own engine (MSR deposits then happen inside ``engine.run``).
+    """
+    engine, alg, n, threads, seed, execute, verify = payload
+    build = alg.build_cached(n, threads, seed=seed, execute=execute)
+    measurement = engine.run(
+        build.graph,
+        threads,
+        execute=execute,
+        label=f"{alg.name}[n={n},p={threads}]",
+    )
+    if execute and verify:
+        report = build.verify()
+        if not report.ok:
+            raise ValidationError(
+                f"{alg.display_name} n={n} p={threads}: numerical error "
+                f"{report.abs_error:.3e} exceeds bound {report.bound:.3e}"
+            )
+    return measurement

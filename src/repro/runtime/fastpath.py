@@ -1,0 +1,959 @@
+"""Incremental discrete-event kernel — the scheduler's fast engine.
+
+:class:`~repro.runtime.scheduler.Scheduler` owns two interchangeable
+event kernels:
+
+* ``engine="reference"`` — the original per-event Python loop
+  (:meth:`Scheduler._run_reference`): every event rebuilds the
+  per-task rate dictionaries and walks all five dimensions of every
+  running task.  Exact, simple, slow — kept verbatim as the oracle.
+* ``engine="fast"`` — this module.  All running-task state lives in
+  preallocated flat arrays indexed ``core * 5 + dim`` and the
+  per-event work is *incremental*:
+
+  - ``texp_adj`` — a flat ``(P*5,)`` array of **absolute exhaust
+    times** (``inf`` for exhausted/no-demand entries).  Between rate
+    changes an entry's exhaust time is constant, so the event step is
+    one ``min`` + one compare sweep instead of recomputing every
+    ``remaining / rate`` quotient over all running tasks.  The array
+    stores ``t_exhaust - EPS/rate`` so the completion compare
+    reproduces the reference kernel's EPS residue-zeroing
+    (tie-merging) rule.
+  - per-dimension **active rate sums** are maintained incrementally,
+    so the activity integral of an interval is ``rate_sum * dt`` — no
+    per-task delta vectors, no per-event allocation.
+  - shared-bandwidth shares (per-socket L3, machine-wide DRAM) are
+    recomputed only when a user count actually changes, and only the
+    affected entries get new exhaust times (found by scanning the
+    ``running`` dict — at most P entries, cheaper than maintaining
+    membership sets per dispatch/exhaust).
+  - a per-``(graph, machine)`` **seat plan** is lazily cached on the
+    graph (:data:`_PLAN_ATTR`): for every task, the nonzero private
+    dimensions with their precomputed ``(rate, d/rate, d/rate -
+    EPS/rate)`` and the nonzero shared dimensions with their work.
+    Dispatch then seats a task with a couple of adds and stores
+    instead of re-deriving rates from ``TaskCost`` attributes on
+    every run.  Task lists are append-only and tasks immutable, so a
+    plan never goes stale; it is extended when the graph has grown
+    and rebuilt when the machine constants differ.
+
+  The ``texp_adj`` store is a numpy array when ``P*5`` is large
+  (vectorized ``argmin`` + compare) and a plain Python list of floats
+  below :data:`_NUMPY_THRESHOLD` entries: at the paper's scale
+  (P ≤ 16, i.e. ≤ 80 entries) numpy's ~1 µs per-call dispatch
+  overhead on three calls per event *loses* to C-speed ``min`` /
+  ``list.index`` / a single comprehension over a few dozen floats —
+  measured 2.4 µs vs 1.3 µs per event step on the tier-1 host.  Both
+  stores hold identical values; only the min/compare step differs.
+
+The two kernels take identical scheduling *decisions* (same dispatch
+order, same core placement, same completion grouping), so makespans,
+task records and interval boundaries agree to float rounding
+(≲1e-12 relative — the reference decrements remaining work stepwise
+while the fast kernel keeps absolute exhaust times, so the last ulp
+can differ) and activity integrals agree to summation-order rounding.
+The one *structural* divergence: when a stepwise decrement leaves a
+sub-EPS work residue, the reference gives it a degenerate zero-width
+interval (``t_end == t_start`` after float absorption) while the fast
+kernel retires the entry exactly at the earlier event; the residue's
+integral lands in the preceding interval instead.  Merging zero-width
+intervals into their predecessor makes the two interval streams equal
+(``canonical_intervals`` in ``tests/runtime/test_fastpath.py``).
+Policy and queue semantics are intentionally duplicated from the
+reference loop — any drift between the two is a bug that the
+differential test exists to catch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..util.errors import SchedulingError
+from .scheduler import Schedule, TaskRecord, _EPS
+from .stats import RuntimeStats
+from .timeline import CoreTimeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scheduler import Scheduler
+    from .task import TaskGraph
+
+__all__ = ["run_fast"]
+
+_INF = float("inf")
+#: Entry count (threads * 5) above which the numpy event step beats the
+#: pure-Python one.  Below it, per-call numpy dispatch overhead dominates.
+_NUMPY_THRESHOLD = 96
+#: Attribute under which the per-(graph, machine) seat plan is cached.
+_PLAN_ATTR = "_fastpath_plan"
+
+_new = object.__new__
+
+#: Seat plan of one task:
+#: ``(private, shared, alive0, affinity)`` where *private* is a tuple
+#: of ``(dim, rate, dur, adj_dur, d)`` for nonzero private dims
+#: (``dur = d/rate``, ``adj_dur = dur - EPS/rate``), *shared* a tuple
+#: of ``(dim, work)`` for nonzero L3/DRAM demands, and *affinity* True
+#: when the task is tied AND has a creator (the reference's exact
+#: creator-affinity gate).  *alive0* packs the entry count with the
+#: rare cases so the dispatch hot path branches once: ``> 0`` is the
+#: live entry count, ``0`` means all demands sub-EPS (finish at next
+#: event), ``< 0`` means dim ``-1 - alive0`` has demand but a
+#: non-positive service rate (raise lazily at dispatch, matching the
+#: reference).
+
+
+class _GraphPlan:
+    """Cached per-(graph, machine) lowering of task costs to seat plans.
+
+    Task lists are append-only and tasks immutable, so everything here
+    stays valid until the graph grows (handled by extending) or the
+    machine constants change (handled by rebuilding).  ``crit_prio``
+    is filled lazily on the first ``critical``-policy run and
+    invalidated by growth (priorities are a whole-graph property).
+    """
+
+    __slots__ = (
+        "key",          # (core_peak, l1_bw, l2_bw, l3_bw, dram_bw)
+        "plans",        # list of per-task seat plans (see below)
+        "zeros",        # list[bool]: task cost exactly zero (is_zero)
+        "seeds",        # tids with no dependencies, in task order
+        "indeg0",       # initial indegree per task (copied per run)
+        "any_created",  # any task has a creator (affinity can fire)
+        "zero_seed",    # any source is zero-cost (cascades interleave)
+        "crit_prio",    # critical-policy priorities or None (lazy)
+    )
+
+    def __init__(self, key):
+        self.key = key
+        self.plans: list = []
+        self.zeros: list = []
+        self.seeds: list = []
+        self.indeg0: list = []
+        self.any_created = False
+        self.zero_seed = False
+        self.crit_prio: list | None = None
+
+
+def _build_plans(
+    tasks,
+    lo: int,
+    gp: _GraphPlan,
+    core_peak: float,
+    l1_bw: float,
+    l2_bw: float,
+) -> None:
+    """Append seat plans (and zero flags, source tids, indegrees) for
+    ``tasks[lo:]`` to *gp*."""
+    eps = _EPS
+    plans_append = gp.plans.append
+    zeros_append = gp.zeros.append
+    seeds_append = gp.seeds.append
+    indeg_append = gp.indeg0.append
+    any_created = gp.any_created
+    zero_seed = gp.zero_seed
+    # ``eps / bw`` is loop-invariant for the fixed-bandwidth dims; the
+    # flops dim keeps ``eps / rate`` inline because the rate varies with
+    # per-task efficiency.  ``dur`` is hoisted so each demand divides
+    # once — the hoisted forms produce bit-identical floats.
+    eps_l1 = eps / l1_bw if l1_bw > 0.0 else 0.0
+    eps_l2 = eps / l2_bw if l2_bw > 0.0 else 0.0
+    for i in range(lo, len(tasks)):
+        task = tasks[i]
+        cost = task.cost
+        f = cost.flops
+        b1 = cost.bytes_l1
+        b2 = cost.bytes_l2
+        b3 = cost.bytes_l3
+        bd = cost.bytes_dram
+        zero = f == 0.0 and b1 == 0.0 and b2 == 0.0 and b3 == 0.0 and bd == 0.0
+        zeros_append(zero)
+        deps = task.deps
+        indeg_append(len(deps))
+        if not deps:
+            seeds_append(i)
+            if zero:
+                zero_seed = True
+        priv = []
+        shared = []
+        bad = -1
+        if f > eps:
+            rate = cost.efficiency * core_peak
+            if rate <= 0.0:
+                bad = 0
+            else:
+                dur = f / rate
+                priv.append((0, rate, dur, dur - eps / rate, f))
+        if b1 > eps:
+            if l1_bw <= 0.0:
+                bad = bad if bad >= 0 else 1
+            else:
+                dur = b1 / l1_bw
+                priv.append((1, l1_bw, dur, dur - eps_l1, b1))
+        if b2 > eps:
+            if l2_bw <= 0.0:
+                bad = bad if bad >= 0 else 2
+            else:
+                dur = b2 / l2_bw
+                priv.append((2, l2_bw, dur, dur - eps_l2, b2))
+        if b3 > eps:
+            shared.append((3, b3))
+        if bd > eps:
+            shared.append((4, bd))
+        created = task.created_by is not None
+        if created:
+            any_created = True
+        alive0 = -1 - bad if bad >= 0 else len(priv) + len(shared)
+        plans_append(
+            (
+                tuple(priv),
+                tuple(shared),
+                alive0,
+                (not task.untied) and created,
+            )
+        )
+    gp.any_created = any_created
+    gp.zero_seed = zero_seed
+
+
+def _plans_for(sched: "Scheduler", graph: "TaskGraph") -> _GraphPlan:
+    """Fetch or build the cached :class:`_GraphPlan` for *graph* on
+    this scheduler's machine.
+
+    Caching each task's exactly-zero flag matters on its own:
+    ``TaskCost.is_zero`` is a five-compare property, and the kernel
+    consults it twice per task per run (seeding + completion cascade).
+    """
+    core_peak = sched._core_peak
+    l1_bw = sched._l1_bw
+    l2_bw = sched._l2_bw
+    machine = sched.machine
+    key = (core_peak, l1_bw, l2_bw, machine.l3_bandwidth, machine.dram_bandwidth)
+    gp: _GraphPlan | None = getattr(graph, _PLAN_ATTR, None)
+    tasks = graph.tasks
+    if gp is not None and gp.key == key:
+        if len(gp.plans) < len(tasks):  # graph grew since last run
+            _build_plans(tasks, len(gp.plans), gp, core_peak, l1_bw, l2_bw)
+            gp.crit_prio = None  # whole-graph property; recompute
+        return gp
+    gp = _GraphPlan(key)
+    _build_plans(tasks, 0, gp, core_peak, l1_bw, l2_bw)
+    setattr(graph, _PLAN_ATTR, gp)
+    return gp
+
+
+def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
+    """Simulate *graph* with the incremental event kernel.
+
+    Mirrors :meth:`Scheduler._run_reference` decision-for-decision; see
+    the module docstring for the state layout.
+    """
+    graph.validate()
+    n = len(graph)
+    tasks = graph.tasks
+    successors = graph._successors  # read-only; skip the defensive copy
+    policy = sched.policy
+    threads = sched.threads
+    execute = sched.execute
+    socket_of = sched._socket_of
+    num_sockets = sched._num_sockets
+    multi_socket = num_sockets > 1
+    l3_bw = sched.machine.l3_bandwidth
+    dram_bw = sched.machine.dram_bandwidth
+
+    gp = _plans_for(sched, graph)
+    plans = gp.plans
+    zeros = gp.zeros
+    seeds = gp.seeds
+    any_created = gp.any_created
+    zero_seed = gp.zero_seed
+    indegree = gp.indeg0.copy()
+
+    # ---- ready-queue state (same discipline as the reference loop) ----
+    priority: list[float] | None = None
+    if policy == "critical":
+        priority = gp.crit_prio
+        if priority is None:
+            priority = [0.0] * n
+            for task in reversed(tasks):
+                below = max(
+                    (priority[s] for s in successors[task.tid]), default=0.0
+                )
+                priority[task.tid] = sched.uncontended_duration(task) + below
+            gp.crit_prio = priority
+
+    ready_fifo: deque[int] = deque()
+    ready_lifo: list[int] = []
+    ready_heap: list[tuple[float, int]] = []
+    core_deques: list[deque[int]] = [deque() for _ in range(threads)]
+    shared_inbox: deque[int] = deque()
+    ready_total = 0
+    task_core: dict[int, int] = {}
+
+    is_fifo = policy == "fifo"
+    is_lifo = policy == "lifo"
+    is_steal = policy == "steal"
+    # When no task has a creator, the affinity/migration code can never
+    # fire (the reference short-circuits on the same attributes), so
+    # the per-dispatch bookkeeping is skipped wholesale.  Steal always
+    # tracks: push_ready routes via task_core.
+    track_affinity = is_steal or any_created
+
+    # Bound length accessor for the active queue: calling a builtin
+    # method is ~4x cheaper than a closure summing three lens.
+    if is_fifo:
+        qlen = ready_fifo.__len__
+    elif is_lifo:
+        qlen = ready_lifo.__len__
+    elif is_steal:
+        qlen = lambda: ready_total  # noqa: E731 - reads the live cell
+    else:
+        qlen = ready_heap.__len__
+
+    def push_ready(tid: int) -> None:
+        nonlocal ready_total
+        if is_fifo:
+            ready_fifo.append(tid)
+        elif is_lifo:
+            ready_lifo.append(tid)
+        elif priority is not None:
+            heapq.heappush(ready_heap, (-priority[tid], tid))
+        else:  # steal
+            creator = tasks[tid].created_by
+            home = task_core.get(creator) if creator is not None else None
+            if home is None:
+                shared_inbox.append(tid)
+            else:
+                core_deques[home].appendleft(tid)
+            ready_total += 1
+
+    def pop_for_core(core: int) -> int:
+        nonlocal ready_total, steals
+        ready_total -= 1
+        if core_deques[core]:
+            return core_deques[core].popleft()
+        if shared_inbox:
+            return shared_inbox.popleft()
+        victim = max(range(threads), key=lambda v: len(core_deques[v]))
+        steals += 1
+        return core_deques[victim].pop()
+
+    # ---- incremental event-kernel state -------------------------------
+    n_entries = threads * 5
+    use_np = n_entries >= _NUMPY_THRESHOLD
+    # Absolute exhaust time minus per-entry EPS slack, flat (P*5,).
+    if use_np:
+        texp_adj = np.full(n_entries, _INF)
+        comp_buf = np.empty(n_entries, dtype=bool)
+    else:
+        texp_adj = [_INF] * n_entries
+    # Flat mirrors as plain Python floats (cheap scalar reads),
+    # indexed core * 5 + dim like texp_adj.
+    texp_true = [_INF] * n_entries
+    rate_of = [0.0] * n_entries
+    # Work-space bookkeeping: demand_of[e] is the work outstanding at
+    # the entry's last (re)pricing, seat_of[e] that pricing's time.
+    # The reference kernel decrements *work* stepwise (``rem -= rate *
+    # dt``; the final delta is the exact remainder), so its activity
+    # integrals conserve every task's demand to work-space ulps.  The
+    # fast kernel's bulk ``rate_sum * dt`` credit accumulates rounding
+    # in *time* space, which large rates amplify.  At an entry's TRUE
+    # exhaust the event step adds ``demand_of[e] - rate * (t_next -
+    # seat_of[e])`` to the interval credit, cancelling that drift.
+    demand_of = [0.0] * n_entries
+    seat_of = [0.0] * n_entries
+    # Flat-index decode tables (cheaper than divmod in the sweep).
+    core_of_idx = [e // 5 for e in range(n_entries)]
+    dim_of_idx = [e % 5 for e in range(n_entries)]
+    alive_dims = [0] * threads
+    start_of = [0.0] * threads
+    # rate_sum[d]: total service rate of unexhausted entries in dim d.
+    # Private dims (0-2) are maintained incrementally; shared dims (3,
+    # 4) are recomputed exactly from user counts at every share change.
+    # dim_users[4] doubles as the machine-wide DRAM user count.
+    rate_sum = [0.0, 0.0, 0.0, 0.0, 0.0]
+    dim_users = [0, 0, 0, 0, 0]
+    l3_users = [0] * num_sockets
+    # Seated (priced, finite-texp) entry counts per shared dim: lets
+    # refresh_shares skip the running-dict scan when every user is
+    # still waiting on ``unseated``.
+    seated3 = [0] * num_sockets
+    seated4 = 0
+    share3 = [0.0] * num_sockets
+    share4 = 0.0
+    # Shared-dim entries dispatched but not yet priced: (core, dim, work).
+    unseated: list[tuple[int, int, float]] = []
+    shares_dirty = False
+
+    records: list[TaskRecord] = []
+    # Raw interval rows (Schedule materializes ActivityInterval objects
+    # lazily; bulk consumers read the tuples directly).
+    intervals: list[tuple] = []
+    records_append = records.append
+    intervals_append = intervals.append
+    # Raw per-core busy spans; wrapped in CoreTimeline objects at the
+    # end (the add_busy method's validation costs ~0.5us per task).
+    busy_of: list[list[tuple[float, float]]] = [[] for _ in range(threads)]
+    free_cores: list[int] = list(range(threads - 1, -1, -1))
+    running: dict[int, object] = {}  # core -> Task, in dispatch order
+    pending_trivial: list[int] = []  # cores whose task exhausted off-event
+    t = 0.0
+    done_count = 0
+    migrations = 0
+    steals = 0
+
+    def complete(tid: int, when: float) -> int:
+        """Propagate a completion; returns how many tasks it retired
+        (1 + the zero-cost cascade)."""
+        count = 1
+        for succ in successors[tid]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                stask = tasks[succ]
+                if zeros[succ]:
+                    if execute and stask.compute is not None:
+                        stask.compute()
+                    rec = _new(TaskRecord)
+                    d = rec.__dict__
+                    d["tid"] = succ
+                    d["name"] = stask.name
+                    d["core"] = -1
+                    d["start"] = when
+                    d["end"] = when
+                    records_append(rec)
+                    count += complete(succ, when)
+                else:
+                    push_ready(succ)
+        return count
+
+    # Seed the sources (tids precomputed in the plan cache).  fifo/lifo
+    # admit a batched `extend` (the queue order is the iteration
+    # order); critical/steal need per-task routing.  Zero-cost sources
+    # cascade immediately, so a pending batch is flushed before each
+    # cascade to preserve the reference kernel's interleaving.
+    batch_queue = ready_fifo if is_fifo else ready_lifo if is_lifo else None
+    if not zero_seed and batch_queue is not None:
+        batch_queue.extend(seeds)
+    elif not zero_seed:
+        for tid in seeds:
+            push_ready(tid)
+    else:
+        seed_buf: list[int] = []
+        for tid in seeds:
+            if zeros[tid]:
+                if seed_buf:
+                    batch_queue.extend(seed_buf)  # type: ignore[union-attr]
+                    seed_buf.clear()
+                task = tasks[tid]
+                if execute and task.compute is not None:
+                    task.compute()
+                rec = _new(TaskRecord)
+                d = rec.__dict__
+                d["tid"] = tid
+                d["name"] = task.name
+                d["core"] = -1
+                d["start"] = 0.0
+                d["end"] = 0.0
+                records_append(rec)
+                done_count += complete(tid, 0.0)
+            elif batch_queue is not None:
+                seed_buf.append(tid)
+            else:
+                push_ready(tid)
+        if seed_buf:
+            batch_queue.extend(seed_buf)  # type: ignore[union-attr]
+
+    def exhaust_entry(core: int, dim: int) -> None:
+        """Retire one (core, dim) entry; queue the task when finished.
+
+        Called on the cold paths only (sub-EPS reseat residues); the
+        event-scan loop inlines the same logic for speed.  Keep the two
+        in sync.
+        """
+        nonlocal shares_dirty, seated4
+        e = core * 5 + dim
+        texp_true[e] = _INF
+        texp_adj[e] = _INF
+        if dim < 3:
+            rate_sum[dim] -= rate_of[e]
+            dim_users[dim] -= 1
+            if dim_users[dim] == 0:
+                rate_sum[dim] = 0.0  # kill accumulated float residue exactly
+        elif dim == 3:
+            dim_users[3] -= 1
+            sock = socket_of[core]
+            l3_users[sock] -= 1
+            seated3[sock] -= 1
+            shares_dirty = True
+        else:
+            dim_users[4] -= 1
+            seated4 -= 1
+            shares_dirty = True
+        alive_dims[core] -= 1
+        if alive_dims[core] == 0:
+            pending_trivial.append(core)
+
+    def reseat(core: int, dim: int, rem: float, rate: float, now: float) -> None:
+        """Price one shared entry at *rate* with *rem* work left."""
+        if rem <= _EPS:
+            # Sub-EPS residue: the reference kernel zeroes it at the
+            # next event without letting it constrain dt.
+            exhaust_entry(core, dim)
+            return
+        if rate <= 0.0:
+            raise SchedulingError(
+                f"task {running[core].name!r} has demand in dim {dim} "
+                f"but zero service rate"
+            )
+        e = core * 5 + dim
+        texp = now + rem / rate
+        texp_true[e] = texp
+        rate_of[e] = rate
+        texp_adj[e] = texp - _EPS / rate
+        demand_of[e] = rem
+        seat_of[e] = now
+
+    def refresh_shares_multi(now: float) -> None:
+        """Recompute shared-bandwidth shares after a user-count change,
+        reseat affected entries and rebuild the shared rate sums.
+
+        Seated entries needing a reprice are found by scanning the
+        ``running`` dict (≤ P cores).  Reseat order is irrelevant to
+        the result: each reseat writes per-entry state only, and the
+        shared rate sums are rebuilt from the user counts below — no
+        float accumulation order to match.
+        """
+        nonlocal share4, shares_dirty, seated4
+        while True:
+            shares_dirty = False
+            if unseated:
+                pending = unseated[:]
+                unseated.clear()
+            else:
+                pending = ()
+            dram_users = dim_users[4]
+            new4 = dram_bw / dram_users if dram_users else 0.0
+            if new4 != share4:
+                share4 = new4
+                if seated4:
+                    # Iterating ``running`` directly is safe: reseat's
+                    # sub-EPS path mutates pending_trivial, never the
+                    # running dict itself.
+                    for core in running:
+                        e = core * 5 + 4
+                        told = texp_true[e]
+                        if told != _INF:
+                            reseat(core, 4, (told - now) * rate_of[e], new4, now)
+            for sock in range(num_sockets):
+                new3 = l3_bw / l3_users[sock] if l3_users[sock] else 0.0
+                if new3 != share3[sock]:
+                    share3[sock] = new3
+                    if seated3[sock]:
+                        for core in running:
+                            if socket_of[core] != sock:
+                                continue
+                            e = core * 5 + 3
+                            told = texp_true[e]
+                            if told != _INF:
+                                reseat(core, 3, (told - now) * rate_of[e], new3, now)
+            for core, dim, work in pending:
+                # Dispatch filtered sub-EPS demands, so work > EPS here.
+                if dim == 4:
+                    rate = share4
+                    seated4 += 1
+                else:
+                    rate = share3[socket_of[core]]
+                    seated3[socket_of[core]] += 1
+                if rate <= 0.0:
+                    raise SchedulingError(
+                        f"task {running[core].name!r} has demand in dim {dim} "
+                        f"but zero service rate"
+                    )
+                e = core * 5 + dim
+                texp = now + work / rate
+                texp_true[e] = texp
+                rate_of[e] = rate
+                texp_adj[e] = texp - _EPS / rate
+                demand_of[e] = work
+                seat_of[e] = now
+            if not shares_dirty:
+                break
+        # Shared rate sums follow directly from the user counts.
+        rate_sum[4] = dim_users[4] * share4
+        s3 = 0.0
+        for sock in range(num_sockets):
+            s3 += l3_users[sock] * share3[sock]
+        rate_sum[3] = s3
+
+    def refresh_shares_single(now: float) -> None:
+        """Single-socket specialization of :func:`refresh_shares_multi`
+        (the paper's machine): one L3 domain, so both shared dims are
+        repriced in one fused pass over ``running`` with the reseat
+        arithmetic inlined.  Identical state transitions — only the
+        iteration shape differs (reseat order is irrelevant, see the
+        multi-socket docstring).
+        """
+        nonlocal share4, shares_dirty, seated4
+        eps = _EPS
+        while True:
+            shares_dirty = False
+            if unseated:
+                pending = unseated[:]
+                unseated.clear()
+            else:
+                pending = ()
+            du4 = dim_users[4]
+            new4 = dram_bw / du4 if du4 else 0.0
+            l3u = l3_users[0]
+            new3 = l3_bw / l3u if l3u else 0.0
+            chg4 = new4 != share4
+            chg3 = new3 != share3[0]
+            if chg4:
+                share4 = new4
+                if not seated4:
+                    chg4 = False
+            if chg3:
+                share3[0] = new3
+                if not seated3[0]:
+                    chg3 = False
+            if chg4 or chg3:
+                for core in running:
+                    base = core * 5
+                    if chg4:
+                        e = base + 4
+                        told = texp_true[e]
+                        if told != _INF:
+                            rem = (told - now) * rate_of[e]
+                            if rem <= eps:
+                                exhaust_entry(core, 4)
+                            elif new4 <= 0.0:
+                                raise SchedulingError(
+                                    f"task {running[core].name!r} has demand "
+                                    f"in dim 4 but zero service rate"
+                                )
+                            else:
+                                texp = now + rem / new4
+                                texp_true[e] = texp
+                                rate_of[e] = new4
+                                texp_adj[e] = texp - eps / new4
+                                demand_of[e] = rem
+                                seat_of[e] = now
+                    if chg3:
+                        e = base + 3
+                        told = texp_true[e]
+                        if told != _INF:
+                            rem = (told - now) * rate_of[e]
+                            if rem <= eps:
+                                exhaust_entry(core, 3)
+                            elif new3 <= 0.0:
+                                raise SchedulingError(
+                                    f"task {running[core].name!r} has demand "
+                                    f"in dim 3 but zero service rate"
+                                )
+                            else:
+                                texp = now + rem / new3
+                                texp_true[e] = texp
+                                rate_of[e] = new3
+                                texp_adj[e] = texp - eps / new3
+                                demand_of[e] = rem
+                                seat_of[e] = now
+            for core, dim, work in pending:
+                # Dispatch filtered sub-EPS demands, so work > EPS here.
+                if dim == 4:
+                    rate = share4
+                    seated4 += 1
+                else:
+                    rate = share3[0]
+                    seated3[0] += 1
+                if rate <= 0.0:
+                    raise SchedulingError(
+                        f"task {running[core].name!r} has demand in dim {dim} "
+                        f"but zero service rate"
+                    )
+                e = core * 5 + dim
+                texp = now + work / rate
+                texp_true[e] = texp
+                rate_of[e] = rate
+                texp_adj[e] = texp - eps / rate
+                demand_of[e] = work
+                seat_of[e] = now
+            if not shares_dirty:
+                break
+        # Shared rate sums follow directly from the user counts.
+        rate_sum[4] = dim_users[4] * share4
+        rate_sum[3] = l3_users[0] * share3[0]
+
+    refresh_shares = refresh_shares_multi if multi_socket else refresh_shares_single
+
+    # Local aliases: these names are closure cells (the helpers above
+    # capture them); rebinding them to plain locals makes the hot loop
+    # use LOAD_FAST instead of LOAD_DEREF.  The aliased objects are
+    # never rebound, only mutated, so both names stay in sync.
+    ta = texp_adj
+    tt = texp_true
+    rof = rate_of
+    rs = rate_sum
+    du = dim_users
+    dem = demand_of
+    seat = seat_of
+    rec_app = records_append
+
+    while done_count < n:
+        # ---- dispatch ready tasks onto free cores (reference logic) ----
+        # Dispatch never refills either side, so the batch size is
+        # fixed up front — saves re-evaluating the loop condition.
+        nfree = len(free_cores)
+        nready = qlen()
+        batch = nfree if nfree < nready else nready
+        while batch:
+            batch -= 1
+            core = free_cores[-1]
+            if is_steal:
+                tid = pop_for_core(core)
+                task = tasks[tid]
+            else:
+                if is_fifo:
+                    tid = ready_fifo.popleft()
+                elif is_lifo:
+                    tid = ready_lifo.pop()
+                else:
+                    tid = heapq.heappop(ready_heap)[1]
+                task = tasks[tid]
+            priv, shr, alive0, tied_affinity = plans[tid]
+            if track_affinity:
+                if not is_steal and tied_affinity:
+                    want = task_core.get(task.created_by)
+                    if want is not None and want in free_cores:
+                        core = want
+                    elif want is not None:
+                        steals += 1
+                if core == free_cores[-1]:
+                    free_cores.pop()
+                else:
+                    free_cores.remove(core)
+                creator = task.created_by
+                if (
+                    creator is not None
+                    and task_core.get(creator) is not None
+                    and task_core[creator] != core
+                ):
+                    migrations += 1
+                task_core[tid] = core
+            else:
+                free_cores.pop()
+            if execute and task.compute is not None:
+                task.compute()
+            running[core] = task
+            start_of[core] = t
+            # Seat the demand entries from the precomputed plan.
+            # Private dims get their final rate now; shared dims queue
+            # on ``unseated`` until the post-batch user counts are
+            # known (the reference kernel prices shares after the
+            # whole dispatch batch; their texp entries are already INF
+            # by the free-core invariant).
+            if priv:
+                base = core * 5
+                for dim, rate, dur, adj_dur, d in priv:
+                    e = base + dim
+                    rof[e] = rate
+                    tt[e] = t + dur
+                    ta[e] = t + adj_dur
+                    dem[e] = d
+                    seat[e] = t
+                    rs[dim] += rate
+                    du[dim] += 1
+            if shr:
+                for dim, work in shr:
+                    unseated.append((core, dim, work))
+                    du[dim] += 1
+                    if dim == 3:
+                        l3_users[socket_of[core]] += 1
+                shares_dirty = True
+            alive_dims[core] = alive0
+            if alive0 <= 0:
+                if alive0 < 0:
+                    raise SchedulingError(
+                        f"task {task.name!r} has demand in dim {-1 - alive0} "
+                        f"but zero service rate"
+                    )
+                # All demands at/below EPS: the reference kernel zeroes
+                # them and finishes the task at the *next* event.
+                pending_trivial.append(core)
+
+        if not running:
+            if done_count < n:
+                raise SchedulingError(
+                    f"deadlock: {n - done_count} tasks left but nothing "
+                    f"ready or running in graph {graph.name!r}"
+                )
+            break
+
+        if shares_dirty:
+            refresh_shares(t)
+
+        # ---- next event: smallest absolute *true* exhaust time ---------
+        # The reference advances by ``min(rem / rate)`` — the smallest
+        # TRUE remaining time — and then zeroes every entry whose
+        # residue is within EPS.  Mirror both: the event lands on the
+        # minimum of ``texp_true``, and the sweep below clears every
+        # entry with ``texp_adj <= t_next`` (exactly the entries whose
+        # remaining work at t_next is <= EPS).  Selecting by adjusted
+        # time instead would overshoot the true minimum by up to
+        # EPS/rate and mis-credit every running entry's activity.
+        t_next = min(tt)
+
+        if t_next == _INF:
+            # Nothing can progress: every running task is already
+            # exhausted (trivial tasks awaiting their completion tick).
+            if not pending_trivial:
+                raise SchedulingError(
+                    "scheduler made no progress (dt == 0 with no completions)"
+                )
+        else:
+            dt = t_next - t
+            # Snapshot the bulk time-space credits before the sweep
+            # mutates the rate sums; the sweep then accumulates the
+            # work-space corrections for entries exhausting at their
+            # TRUE time (see ``demand_of``).  EPS-window entries (swept
+            # with ``texp_true > t_next``) get no correction: the
+            # reference zeroes their sub-EPS residue uncredited too.
+            t_prev = t
+            if dt > 0.0:
+                nrun = len(running)
+                c0 = rs[0] * dt
+                c1 = rs[1] * dt
+                c2 = rs[2] * dt
+                c3 = rs[3] * dt
+                c4 = rs[4] * dt
+            corr0 = corr1 = corr2 = corr3 = corr4 = 0.0
+            t = t_next
+            if use_np:
+                # Large-P path: vectorized compare; the per-entry
+                # function call is dwarfed by the numpy win here.
+                np.less_equal(texp_adj, t_next, out=comp_buf)
+                for idx in np.flatnonzero(comp_buf).tolist():
+                    core = core_of_idx[idx]
+                    dim = dim_of_idx[idx]
+                    if tt[idx] == t_next:
+                        c = dem[idx] - rof[idx] * (t_next - seat[idx])
+                        if dim == 0:
+                            corr0 += c
+                        elif dim == 1:
+                            corr1 += c
+                        elif dim == 2:
+                            corr2 += c
+                        elif dim == 3:
+                            corr3 += c
+                        else:
+                            corr4 += c
+                    exhaust_entry(core, dim)
+            else:
+                # Small-P path: one fused scan (a separate listcomp
+                # would cost a frame setup per event).  The inline body
+                # mirrors exhaust_entry — keep the two in sync.
+                idx = 0
+                for v in ta:
+                    if v <= t_next:
+                        core = core_of_idx[idx]
+                        dim = dim_of_idx[idx]
+                        if tt[idx] == t_next:
+                            c = dem[idx] - rof[idx] * (t_next - seat[idx])
+                            if dim == 0:
+                                corr0 += c
+                            elif dim == 1:
+                                corr1 += c
+                            elif dim == 2:
+                                corr2 += c
+                            elif dim == 3:
+                                corr3 += c
+                            else:
+                                corr4 += c
+                        tt[idx] = _INF
+                        ta[idx] = _INF
+                        if dim < 3:
+                            rs[dim] -= rof[idx]
+                            users = du[dim] - 1
+                            du[dim] = users
+                            if users == 0:
+                                rs[dim] = 0.0  # kill float residue exactly
+                        elif dim == 3:
+                            du[3] -= 1
+                            sock = socket_of[core]
+                            l3_users[sock] -= 1
+                            seated3[sock] -= 1
+                            shares_dirty = True
+                        else:
+                            du[4] -= 1
+                            seated4 -= 1
+                            shares_dirty = True
+                        ad = alive_dims[core] - 1
+                        alive_dims[core] = ad
+                        if ad == 0:
+                            pending_trivial.append(core)
+                    idx += 1
+            if dt > 0.0:
+                intervals_append(
+                    (
+                        t_prev,
+                        t_next,
+                        nrun,
+                        c0 + corr0,
+                        c1 + corr1,
+                        c2 + corr2,
+                        c3 + corr3,
+                        c4 + corr4,
+                    )
+                )
+
+        if pending_trivial:
+            if len(pending_trivial) == len(running):
+                finished = list(running)
+            else:
+                finished_set = set(pending_trivial)
+                finished = [c for c in running if c in finished_set]
+            pending_trivial.clear()
+            for core in finished:
+                task = running.pop(core)
+                start = start_of[core]
+                rec = _new(TaskRecord)
+                d = rec.__dict__
+                d["tid"] = task.tid
+                d["name"] = task.name
+                d["core"] = core
+                d["start"] = start
+                d["end"] = t
+                rec_app(rec)
+                if t > start:
+                    busy = busy_of[core]
+                    if busy and start - busy[-1][1] <= 1e-12:
+                        busy[-1] = (busy[-1][0], t)
+                    else:
+                        busy.append((start, t))
+                free_cores.append(core)
+                if successors[task.tid]:
+                    done_count += complete(task.tid, t)
+                else:
+                    done_count += 1
+
+    timelines = [
+        CoreTimeline(core, busy_of[core], t) for core in range(threads)
+    ]
+    stats = RuntimeStats.from_run(
+        makespan=t,
+        timelines=timelines,
+        task_count=n,
+        threads=threads,
+        migrations=migrations,
+        steals=steals,
+    )
+    return Schedule(
+        graph_name=graph.name,
+        threads=threads,
+        records=records,
+        raw_intervals=intervals,
+        timelines=timelines,
+        stats=stats,
+    )

@@ -26,8 +26,9 @@ constant, so the simulation is exact for the model, not time-stepped.
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Literal, Sequence
 
 from ..machine.specs import MachineSpec
@@ -37,9 +38,33 @@ from .task import Task, TaskGraph
 from .timeline import CoreTimeline
 from .stats import RuntimeStats
 
-__all__ = ["ActivityInterval", "TaskRecord", "Schedule", "Scheduler", "SchedulePolicy"]
+__all__ = [
+    "ActivityInterval",
+    "TaskRecord",
+    "Schedule",
+    "Scheduler",
+    "SchedulePolicy",
+    "SchedulerEngine",
+    "default_engine",
+]
 
 SchedulePolicy = Literal["fifo", "lifo", "critical", "steal"]
+SchedulerEngine = Literal["fast", "reference"]
+
+
+def default_engine() -> SchedulerEngine:
+    """The process-wide default event kernel.
+
+    ``"fast"`` (the vectorized kernel in :mod:`repro.runtime.fastpath`)
+    unless overridden with ``REPRO_ENGINE=reference`` in the
+    environment — the escape hatch for differential debugging.
+    """
+    env = os.environ.get("REPRO_ENGINE", "fast")
+    if env not in ("fast", "reference"):
+        raise ConfigurationError(
+            f"REPRO_ENGINE must be 'fast' or 'reference', got {env!r}"
+        )
+    return env  # type: ignore[return-value]
 
 #: Dimension indices inside the remaining-work vectors.
 _FLOPS, _L1, _L2, _L3, _DRAM = range(5)
@@ -48,11 +73,19 @@ _EPS = 1e-9
 
 @dataclass(frozen=True)
 class ActivityInterval:
-    """Aggregate machine activity between two consecutive events."""
+    """Aggregate machine activity between two consecutive events.
+
+    ``busy_cores`` is an integral count on the intervals the scheduler
+    emits, but becomes a *fractional* busy-core-seconds average after
+    :meth:`repro.sim.engine.Engine._coarsen` merges adjacent intervals
+    (the merged value is ``sum(busy_i * dt_i) / sum(dt_i)``, which
+    preserves the busy-core-seconds integral exactly) — hence the
+    ``float`` type.
+    """
 
     t_start: float
     t_end: float
-    busy_cores: int
+    busy_cores: float
     flops: float
     bytes_l1: float
     bytes_l2: float
@@ -79,16 +112,93 @@ class TaskRecord:
         return self.end - self.start
 
 
-@dataclass
-class Schedule:
-    """Result of scheduling one task graph on one machine."""
+#: Field order of one raw interval row (see :attr:`Schedule.raw_intervals`).
+_INTERVAL_FIELDS = (
+    "t_start",
+    "t_end",
+    "busy_cores",
+    "flops",
+    "bytes_l1",
+    "bytes_l2",
+    "bytes_l3",
+    "bytes_dram",
+)
 
-    graph_name: str
-    threads: int
-    records: list[TaskRecord]
-    intervals: list[ActivityInterval]
-    timelines: list[CoreTimeline]
-    stats: RuntimeStats
+
+class Schedule:
+    """Result of scheduling one task graph on one machine.
+
+    Activity intervals exist in two interchangeable representations:
+    :attr:`intervals` (a list of :class:`ActivityInterval` objects —
+    the stable, ergonomic API) and :attr:`raw_intervals` (plain tuples
+    in :data:`_INTERVAL_FIELDS` order — what the fast engine emits and
+    what bulk consumers like trace coarsening read without paying a
+    million dataclass constructions).  Either may be passed at
+    construction; the other materializes lazily on first access.
+    """
+
+    __slots__ = (
+        "graph_name",
+        "threads",
+        "records",
+        "timelines",
+        "stats",
+        "_intervals",
+        "_raw_intervals",
+        "_record_index",
+    )
+
+    def __init__(
+        self,
+        graph_name: str,
+        threads: int,
+        records: list[TaskRecord],
+        timelines: list[CoreTimeline],
+        stats: RuntimeStats,
+        intervals: list[ActivityInterval] | None = None,
+        raw_intervals: list[tuple] | None = None,
+    ):
+        if intervals is None and raw_intervals is None:
+            raise SchedulingError(
+                "Schedule needs intervals or raw_intervals (or both)"
+            )
+        self.graph_name = graph_name
+        self.threads = threads
+        self.records = records
+        self.timelines = timelines
+        self.stats = stats
+        self._intervals = intervals
+        self._raw_intervals = raw_intervals
+        self._record_index: dict[int, TaskRecord] | None = None
+
+    @property
+    def intervals(self) -> list[ActivityInterval]:
+        """Activity intervals as objects (materialized lazily)."""
+        if self._intervals is None:
+            self._intervals = [
+                ActivityInterval(*row) for row in self._raw_intervals
+            ]
+        return self._intervals
+
+    @property
+    def raw_intervals(self) -> list[tuple]:
+        """Activity intervals as plain ``_INTERVAL_FIELDS``-order
+        tuples (materialized lazily from the object form if needed)."""
+        if self._raw_intervals is None:
+            self._raw_intervals = [
+                (
+                    iv.t_start,
+                    iv.t_end,
+                    iv.busy_cores,
+                    iv.flops,
+                    iv.bytes_l1,
+                    iv.bytes_l2,
+                    iv.bytes_l3,
+                    iv.bytes_dram,
+                )
+                for iv in self._intervals
+            ]
+        return self._raw_intervals
 
     @property
     def makespan(self) -> float:
@@ -96,10 +206,15 @@ class Schedule:
         return self.stats.makespan
 
     def record_for(self, tid: int) -> TaskRecord:
-        for rec in self.records:
-            if rec.tid == tid:
-                return rec
-        raise SchedulingError(f"no record for task {tid}")
+        """O(1) record lookup via a lazily built tid -> record index."""
+        index = self._record_index
+        if index is None or len(index) != len(self.records):
+            index = {rec.tid: rec for rec in self.records}
+            self._record_index = index
+        try:
+            return index[tid]
+        except KeyError:
+            raise SchedulingError(f"no record for task {tid}") from None
 
 
 class _Running:
@@ -135,6 +250,12 @@ class Scheduler:
         When ``True``, run each task's ``compute`` closure (real
         numerics) as the task is dispatched; dependency order is
         guaranteed by the DAG.
+    engine:
+        Event kernel: ``"fast"`` (vectorized, default — see
+        :mod:`repro.runtime.fastpath`) or ``"reference"`` (the
+        original per-event scalar loop, kept as the differential
+        oracle).  ``None`` resolves via :func:`default_engine`
+        (``REPRO_ENGINE`` environment override).
     """
 
     def __init__(
@@ -143,6 +264,7 @@ class Scheduler:
         threads: int,
         policy: SchedulePolicy = "fifo",
         execute: bool = True,
+        engine: SchedulerEngine | None = None,
     ):
         if threads < 1:
             raise ConfigurationError(f"threads must be >= 1, got {threads}")
@@ -153,10 +275,15 @@ class Scheduler:
             )
         if policy not in ("fifo", "lifo", "critical", "steal"):
             raise ConfigurationError(f"unknown policy {policy!r}")
+        if engine is None:
+            engine = default_engine()
+        if engine not in ("fast", "reference"):
+            raise ConfigurationError(f"unknown engine {engine!r}")
         self.machine = machine
         self.threads = threads
         self.policy = policy
         self.execute = execute
+        self.engine = engine
         # Socket of each worker (socket-major core numbering): the
         # shared LLC is per *socket*, so a dual-socket machine has two
         # independent L3 bandwidth domains.
@@ -197,7 +324,20 @@ class Scheduler:
     # ---- main loop -----------------------------------------------------
 
     def run(self, graph: TaskGraph) -> Schedule:
-        """Simulate *graph* to completion and return the schedule."""
+        """Simulate *graph* to completion and return the schedule.
+
+        Dispatches to the configured event kernel; both kernels take
+        identical scheduling decisions (see ``repro.runtime.fastpath``).
+        """
+        if self.engine == "fast":
+            from .fastpath import run_fast
+
+            return run_fast(self, graph)
+        return self._run_reference(graph)
+
+    def _run_reference(self, graph: TaskGraph) -> Schedule:
+        """The original per-event scalar loop — the differential oracle
+        for the vectorized kernel.  Kept verbatim; do not optimize."""
         graph.validate()
         n = len(graph)
         indegree = [len(t.deps) for t in graph.tasks]

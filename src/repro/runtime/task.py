@@ -98,15 +98,23 @@ class TaskGraph:
         created_by: int | Task | None = None,
     ) -> Task:
         """Append a task; *deps* may be ids or :class:`Task` objects."""
-        dep_ids = tuple(d.tid if isinstance(d, Task) else int(d) for d in deps)
         tid = len(self.tasks)
-        for d in dep_ids:
-            if not (0 <= d < tid):
-                raise SchedulingError(
-                    f"task {name!r} depends on unknown/future task id {d}"
-                )
+        if deps:
+            # List-comprehension (no generator frame) — this method is
+            # the lowering hot path, called once per task.
+            dep_ids = tuple(
+                [d.tid if isinstance(d, Task) else int(d) for d in deps]
+            )
+            for d in dep_ids:
+                if not (0 <= d < tid):
+                    raise SchedulingError(
+                        f"task {name!r} depends on unknown/future task id {d}"
+                    )
+        else:
+            dep_ids = ()
         creator = created_by.tid if isinstance(created_by, Task) else created_by
         task = Task(tid, name, cost, dep_ids, compute, untied, creator)
+        self._validated = False
         self.tasks.append(task)
         self._successors.append([])
         for d in dep_ids:
@@ -129,9 +137,18 @@ class TaskGraph:
         """Tasks nothing depends on."""
         return [t for t in self.tasks if not self._successors[t.tid]]
 
+    #: Memo flag for :meth:`validate` (class default; instances flip it).
+    _validated = False
+
     def validate(self) -> None:
         """Check the DAG invariants; raise :class:`SchedulingError` if
-        the graph is cyclic or malformed."""
+        the graph is cyclic or malformed.
+
+        Memoized: :meth:`add` clears the flag, so repeated runs of an
+        unchanged graph (protocol repeats, benchmarks) validate once.
+        """
+        if self._validated:
+            return
         n = len(self.tasks)
         indeg = [len(t.deps) for t in self.tasks]
         queue = deque(t.tid for t in self.tasks if indeg[t.tid] == 0)
@@ -148,6 +165,7 @@ class TaskGraph:
                 f"task graph {self.name!r} contains a cycle "
                 f"({n - seen} tasks unreachable)"
             )
+        self._validated = True
 
     def topological_order(self) -> list[Task]:
         """Tasks in a dependency-respecting order (creation order is one,

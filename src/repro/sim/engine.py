@@ -12,12 +12,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..machine.energy import Activity, PlaneEnergy
 from ..machine.specs import MachineSpec
 from ..power.msr import MsrFile
 from ..power.planes import Plane
 from ..power.sampling import PowerSegment, PowerTrace
-from ..runtime.scheduler import ActivityInterval, Schedule, SchedulePolicy, Scheduler
+from ..runtime.scheduler import (
+    ActivityInterval,
+    Schedule,
+    SchedulePolicy,
+    Scheduler,
+    SchedulerEngine,
+)
 from ..runtime.task import TaskGraph
 from ..util.errors import ConfigurationError
 from ..util.validation import require_positive
@@ -41,6 +49,9 @@ class Engine:
     msr:
         Optional emulated MSR file; when given, every run deposits its
         plane energies so RAPL/PAPI readers observe them.
+    engine:
+        Scheduler event kernel (``"fast"``/``"reference"``); ``None``
+        resolves via :func:`repro.runtime.scheduler.default_engine`.
     """
 
     def __init__(
@@ -48,11 +59,13 @@ class Engine:
         machine: MachineSpec,
         max_trace_segments: int = 512,
         msr: MsrFile | None = None,
+        engine: SchedulerEngine | None = None,
     ):
         require_positive(max_trace_segments, "max_trace_segments")
         self.machine = machine
         self.max_trace_segments = max_trace_segments
         self.msr = msr
+        self.engine = engine
 
     # ------------------------------------------------------------------
 
@@ -65,7 +78,9 @@ class Engine:
         label: str | None = None,
     ) -> RunMeasurement:
         """Simulate *graph* with *threads* workers and measure it."""
-        scheduler = Scheduler(self.machine, threads, policy, execute)
+        scheduler = Scheduler(
+            self.machine, threads, policy, execute, engine=self.engine
+        )
         schedule = scheduler.run(graph)
         return self.measure(schedule, label=label or graph.name)
 
@@ -79,7 +94,7 @@ class Engine:
         bytes_dram = 0.0
         segments: list[PowerSegment] = []
 
-        intervals = self._coarsen(schedule.intervals, schedule.makespan)
+        intervals = self._coarsen(schedule)
         for iv in intervals:
             activity = Activity(
                 dt=iv.duration,
@@ -153,7 +168,11 @@ class Engine:
             ]
         )
         if self.msr is not None:
+            # Deposit all three planes, mirroring Engine.measure — a
+            # PAPI reader wrapped around the quiesce sleep must see a
+            # consistent idle baseline on PP0 too.
             self.msr.deposit_energy(Plane.PACKAGE, energy.package)
+            self.msr.deposit_energy(Plane.PP0, energy.pp0)
             self.msr.deposit_energy(Plane.DRAM, energy.dram)
         from ..runtime.stats import RuntimeStats
 
@@ -181,54 +200,73 @@ class Engine:
 
     # ------------------------------------------------------------------
 
-    def _coarsen(
-        self, intervals: list[ActivityInterval], makespan: float
-    ) -> list[ActivityInterval]:
+    def _coarsen(self, schedule: Schedule) -> list[ActivityInterval]:
         """Merge adjacent intervals into at most ``max_trace_segments``
-        buckets, preserving every activity integral exactly."""
-        if len(intervals) <= self.max_trace_segments:
-            return intervals
-        bucket_dt = makespan / self.max_trace_segments
-        out: list[ActivityInterval] = []
-        acc = None  # mutable accumulator tuple
-        for iv in intervals:
-            if acc is None:
-                acc = [
-                    iv.t_start,
-                    iv.t_end,
-                    iv.busy_cores * iv.duration,
-                    iv.flops,
-                    iv.bytes_l1,
-                    iv.bytes_l2,
-                    iv.bytes_l3,
-                    iv.bytes_dram,
-                ]
-            else:
-                acc[1] = iv.t_end
-                acc[2] += iv.busy_cores * iv.duration
-                acc[3] += iv.flops
-                acc[4] += iv.bytes_l1
-                acc[5] += iv.bytes_l2
-                acc[6] += iv.bytes_l3
-                acc[7] += iv.bytes_dram
-            if acc[1] - acc[0] >= bucket_dt:
-                out.append(self._flush(acc))
-                acc = None
-        if acc is not None:
-            out.append(self._flush(acc))
-        return out
+        buckets, preserving every activity integral exactly.
 
-    @staticmethod
-    def _flush(acc: list) -> ActivityInterval:
-        duration = acc[1] - acc[0]
-        avg_busy = acc[2] / duration if duration > 0 else 0.0
-        return ActivityInterval(
-            t_start=acc[0],
-            t_end=acc[1],
-            busy_cores=avg_busy,  # fractional after coarsening
-            flops=acc[3],
-            bytes_l1=acc[4],
-            bytes_l2=acc[5],
-            bytes_l3=acc[6],
-            bytes_dram=acc[7],
+        Consumes the schedule's *raw* interval rows and groups them
+        vectorially: each bucket is closed by the first interval whose
+        end reaches ``bucket_start + bucket_dt`` (greedy accumulation,
+        same grouping as a scalar pass), located with a binary search
+        over the monotone interval-end column; each bucket's activity
+        sums are then single ``np.add.reduceat`` segments.  A ~300k
+        interval Strassen schedule coarsens in milliseconds instead of
+        a Python-loop second.
+        """
+        rows = schedule.raw_intervals
+        n = len(rows)
+        if n <= self.max_trace_segments:
+            return schedule.intervals
+        makespan = schedule.makespan
+        bucket_dt = makespan / self.max_trace_segments
+        cols = np.asarray(rows)
+        t_start = cols[:, 0]
+        t_end = cols[:, 1]
+        busy_secs = cols[:, 2] * (t_end - t_start)  # busy-core-seconds
+
+        # Greedy bucket boundaries.  searchsorted gives the candidate
+        # closing interval; the exact scalar condition
+        # ``t_end - start >= bucket_dt`` is re-checked locally because
+        # ``a - b >= c`` and ``a >= b + c`` can disagree by one ulp.
+        starts = []  # first row index of each bucket
+        i = 0
+        while i < n:
+            starts.append(i)
+            start = t_start[i]
+            j = int(np.searchsorted(t_end, start + bucket_dt, side="left"))
+            if j < i:
+                j = i
+            while j > i and t_end[j - 1] - start >= bucket_dt:
+                j -= 1
+            while j < n - 1 and t_end[j] - start < bucket_dt:
+                j += 1
+            i = j + 1
+
+        idx = np.array(starts, dtype=np.intp)
+        ends = np.append(idx[1:] - 1, n - 1)  # last row of each bucket
+        b_start = t_start[idx]
+        b_end = t_end[ends]
+        duration = b_end - b_start
+        sums = [
+            np.add.reduceat(col, idx)
+            for col in (busy_secs, cols[:, 3], cols[:, 4], cols[:, 5], cols[:, 6], cols[:, 7])
+        ]
+        # Fractional after coarsening: the time-weighted mean busy
+        # count preserves the busy-core-seconds integral exactly
+        # (see ActivityInterval.busy_cores docs).
+        avg_busy = np.divide(
+            sums[0], duration, out=np.zeros_like(duration), where=duration > 0
         )
+        return [
+            ActivityInterval(
+                t_start=float(b_start[k]),
+                t_end=float(b_end[k]),
+                busy_cores=float(avg_busy[k]),
+                flops=float(sums[1][k]),
+                bytes_l1=float(sums[2][k]),
+                bytes_l2=float(sums[3][k]),
+                bytes_l3=float(sums[4][k]),
+                bytes_dram=float(sums[5][k]),
+            )
+            for k in range(len(idx))
+        ]

@@ -1,0 +1,85 @@
+"""Build cache: hit accounting, LRU eviction, and execute isolation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import StrassenWinograd
+from repro.algorithms.registry import BuildCache, default_build_cache, make_algorithm
+
+
+@pytest.fixture()
+def cache():
+    return BuildCache(maxsize=4)
+
+
+def test_cost_only_builds_are_cached_and_shared(machine, cache):
+    alg = StrassenWinograd(machine)
+    first = alg.build_cached(128, 2, seed=0, execute=False, cache=cache)
+    again = alg.build_cached(128, 2, seed=0, execute=False, cache=cache)
+    assert again is first  # same immutable instance
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+    assert len(cache) == 1
+
+
+def test_key_includes_n_threads_seed(machine, cache):
+    alg = StrassenWinograd(machine)
+    a = alg.build_cached(128, 2, seed=0, execute=False, cache=cache)
+    b = alg.build_cached(128, 4, seed=0, execute=False, cache=cache)
+    c = alg.build_cached(256, 2, seed=0, execute=False, cache=cache)
+    d = alg.build_cached(128, 2, seed=1, execute=False, cache=cache)
+    assert len({id(x) for x in (a, b, c, d)}) == 4
+    assert cache.stats()["misses"] == 4 and cache.stats()["hits"] == 0
+
+
+def test_key_includes_algorithm_instance(machine, cache):
+    one = StrassenWinograd(machine)
+    two = StrassenWinograd(machine)
+    a = one.build_cached(128, 2, seed=0, execute=False, cache=cache)
+    b = two.build_cached(128, 2, seed=0, execute=False, cache=cache)
+    assert a is not b  # different instances may be configured differently
+
+
+def test_lru_eviction(machine):
+    cache = BuildCache(maxsize=2)
+    alg = StrassenWinograd(machine)
+    alg.build_cached(128, 1, execute=False, cache=cache)
+    alg.build_cached(128, 2, execute=False, cache=cache)
+    alg.build_cached(128, 1, execute=False, cache=cache)  # refresh LRU order
+    alg.build_cached(128, 3, execute=False, cache=cache)  # evicts threads=2
+    assert len(cache) == 2
+    alg.build_cached(128, 1, execute=False, cache=cache)
+    assert cache.stats()["hits"] == 2  # threads=1 survived both times
+    alg.build_cached(128, 2, execute=False, cache=cache)
+    assert cache.stats()["misses"] == 4  # threads=2 was re-lowered
+
+
+def test_executed_builds_never_cached_and_isolated(machine, cache):
+    """execute=True must re-lower every time: executed graphs bind
+    operand arrays and accumulate into C, so sharing would corrupt
+    later runs."""
+    from repro.sim.engine import Engine
+
+    alg = make_algorithm("openblas", machine)
+    first = alg.build_cached(64, 1, seed=0, execute=True, cache=cache)
+    second = alg.build_cached(64, 1, seed=0, execute=True, cache=cache)
+    assert first is not second
+    assert len(cache) == 0  # nothing stored
+    assert cache.stats()["misses"] == 2
+
+    engine = Engine(machine)
+    engine.run(first.graph, 1, execute=True)
+    # Running `first` accumulated into its C; `second` must be pristine.
+    assert np.any(first.c != 0.0)
+    assert np.all(second.c == 0.0)
+    engine.run(second.graph, 1, execute=True)
+    np.testing.assert_array_equal(first.c, second.c)  # deterministic clone
+
+
+def test_default_cache_is_process_wide(machine):
+    cache = default_build_cache()
+    assert default_build_cache() is cache
+    baseline = cache.stats()["misses"]
+    alg = StrassenWinograd(machine)
+    alg.build_cached(128, 2, seed=123, execute=False)
+    assert cache.stats()["misses"] == baseline + 1

@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Engine benchmark harness: measure, record, and gate performance.
+
+Benchmarks the simulator's perf-critical paths with both scheduler
+event kernels (``reference`` — the original scalar loop — and ``fast``
+— the vectorized absolute-exhaust-time kernel), plus the build cache
+and the trace-driven cache simulator:
+
+``scheduler_wide2000``
+    The 2000-task wide graph from ``benchmarks/test_engine_perf.py``,
+    scheduled at four threads, best-of-*repeats* per engine.
+``matrix_cost48``
+    The paper's full 48-cell execution matrix (3 algorithms x sizes
+    {512..4096} x threads {1..4}), simulated cost-only, per engine.
+``lowering_cache``
+    Strassen lowering cold (``build``) versus a warm ``build_cached``
+    hit — the cost a protocol repetition or sweep re-run avoids.
+``cache_sim64k``
+    A 64 KiB stride-64 stream through the 3-level LRU hierarchy
+    (engine-independent; guards the cache-sim hot path).
+
+Host wall-clock numbers are machine-specific, so the regression gate
+compares *ratios* (reference/fast, cold/hit), which are stable across
+hosts.  ``--smoke`` runs reduced-size variants and fails when any
+gated ratio regresses more than 25% against the committed baseline.
+
+Run:
+  python tools/bench.py                  # full suite, print table
+  python tools/bench.py --write          # full + smoke, update BENCH_engine.json
+  python tools/bench.py --smoke          # quick gate against BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.algorithms import StrassenWinograd
+from repro.algorithms.registry import BuildCache
+from repro.machine import haswell_e3_1225
+from repro.machine.cache import CacheHierarchySim, CacheHierarchySpec
+from repro.core.study import EnergyPerformanceStudy, StudyConfig
+from repro.runtime.cost import TaskCost
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.task import TaskGraph
+from repro.sim.engine import Engine
+
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Ratios gated by ``--smoke``: benchmark name -> ratio field.
+GATED = {
+    "scheduler_wide2000": "ratio",
+    "matrix_cost": "ratio",
+    "lowering_cache": "ratio",
+}
+#: Allowed regression before the gate fails (fraction of baseline).
+TOLERANCE = 0.25
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    return best
+
+
+def _wide_graph(tasks: int = 2000) -> TaskGraph:
+    g = TaskGraph(f"wide{tasks}")
+    for i in range(tasks):
+        g.add(f"t{i}", TaskCost(flops=1e8, bytes_dram=1e5))
+    return g
+
+
+def bench_scheduler(machine, repeats: int) -> dict:
+    """Wide-graph scheduler throughput, reference vs fast."""
+    graph = _wide_graph(2000)
+    out = {}
+    for engine in ("reference", "fast"):
+        sched = Scheduler(machine, threads=4, execute=False, engine=engine)
+        out[f"{engine}_ms"] = _best_of(lambda: sched.run(graph), repeats) * 1e3
+    out["ratio"] = out["reference_ms"] / out["fast_ms"]
+    out["repeats"] = repeats
+    return out
+
+
+def bench_matrix(machine, sizes: tuple[int, ...]) -> dict:
+    """The execution matrix, simulated cost-only, reference vs fast."""
+    out = {"sizes": list(sizes)}
+    for engine in ("reference", "fast"):
+        cfg = StudyConfig(sizes=sizes, execute_max_n=0)
+        study = EnergyPerformanceStudy(
+            machine, config=cfg, engine=Engine(machine, engine=engine)
+        )
+        t0 = time.perf_counter()
+        result = study.run()
+        out[f"{engine}_s"] = time.perf_counter() - t0
+        out["cells"] = len(result.runs)
+    out["ratio"] = out["reference_s"] / out["fast_s"]
+    return out
+
+
+def bench_lowering_cache(machine, n: int, repeats: int) -> dict:
+    """Cold Strassen lowering vs a warm build-cache hit."""
+    alg = StrassenWinograd(machine)
+    cache = BuildCache()
+    cold = _best_of(lambda: alg.build(n, 4, seed=0, execute=False), repeats)
+    alg.build_cached(n, 4, seed=0, execute=False, cache=cache)  # warm
+    hit = _best_of(
+        lambda: alg.build_cached(n, 4, seed=0, execute=False, cache=cache),
+        max(repeats, 5),
+    )
+    return {
+        "n": n,
+        "cold_ms": cold * 1e3,
+        "hit_ms": hit * 1e3,
+        "ratio": cold / hit if hit > 0 else float("inf"),
+    }
+
+
+def bench_cache_sim(repeats: int) -> dict:
+    """64 KiB stride-64 stream through the LRU hierarchy."""
+    spec = CacheHierarchySpec.haswell_like()
+
+    def stream():
+        sim = CacheHierarchySim(spec)
+        sim.access_range(0, 64 * 1024, stride=64)
+
+    return {"stream_ms": _best_of(stream, repeats) * 1e3}
+
+
+def run_suite(smoke: bool) -> dict:
+    machine = haswell_e3_1225()
+    if smoke:
+        repeats, sizes, cache_n = 5, (512, 1024), 256
+    else:
+        repeats, sizes, cache_n = 9, (512, 1024, 2048, 4096), 512
+    return {
+        "scheduler_wide2000": bench_scheduler(machine, repeats),
+        "matrix_cost": bench_matrix(machine, sizes),
+        "lowering_cache": bench_lowering_cache(machine, cache_n, repeats),
+        "cache_sim64k": bench_cache_sim(repeats),
+    }
+
+
+def print_suite(name: str, suite: dict) -> None:
+    print(f"== {name} ==")
+    for bench, fields in suite.items():
+        parts = []
+        for key, value in fields.items():
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.3f}")
+            else:
+                parts.append(f"{key}={value}")
+        print(f"  {bench:20s} " + "  ".join(parts))
+
+
+def gate(current: dict, baseline: dict) -> int:
+    """Compare gated ratios against the baseline; 0 = pass."""
+    failures = []
+    for bench, field in GATED.items():
+        base = baseline.get(bench, {}).get(field)
+        now = current.get(bench, {}).get(field)
+        if base is None or now is None:
+            failures.append(f"{bench}: missing {field} (base={base}, now={now})")
+            continue
+        floor = base * (1.0 - TOLERANCE)
+        status = "ok" if now >= floor else "REGRESSION"
+        print(
+            f"  {bench:20s} {field}: now {now:.2f}x vs baseline {base:.2f}x "
+            f"(floor {floor:.2f}x) {status}"
+        )
+        if now < floor:
+            failures.append(
+                f"{bench}: {field} {now:.2f}x < floor {floor:.2f}x "
+                f"(baseline {base:.2f}x, tolerance {TOLERANCE:.0%})"
+            )
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nPASS: no gated ratio regressed more than "
+          f"{TOLERANCE:.0%} vs baseline")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="quick reduced suite, gate vs the baseline JSON")
+    ap.add_argument("--write", action="store_true",
+                    help="run full + smoke suites and update the baseline JSON")
+    ap.add_argument("--json", type=Path, default=DEFAULT_JSON,
+                    help=f"baseline path (default {DEFAULT_JSON.name})")
+    args = ap.parse_args()
+
+    if args.smoke:
+        suite = run_suite(smoke=True)
+        print_suite("smoke", suite)
+        if not args.json.exists():
+            print(f"\nno baseline at {args.json}; nothing to gate against")
+            return 1
+        baseline = json.loads(args.json.read_text())
+        print(f"\ngating vs {args.json.name} "
+              f"(recorded {baseline['meta'].get('date', '?')}):")
+        return gate(suite, baseline.get("smoke", {}))
+
+    full = run_suite(smoke=False)
+    print_suite("full", full)
+    if args.write:
+        smoke = run_suite(smoke=True)
+        print_suite("smoke", smoke)
+        payload = {
+            "meta": {
+                "date": time.strftime("%Y-%m-%d"),
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "note": (
+                    "Wall-clock fields are host-specific; only the "
+                    "reference/fast and cold/hit ratios are gated."
+                ),
+            },
+            "full": full,
+            "smoke": smoke,
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
