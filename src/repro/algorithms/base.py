@@ -136,17 +136,40 @@ class BuildCache:
         execute: bool = True,
     ) -> BuildResult:
         """Return a build for *(alg, n, threads, seed, execute)*,
-        reusing a cached cost-only lowering when one exists."""
+        reusing a cached cost-only lowering when one exists.
+
+        The ``execute`` flag is part of the cache key *and* checked on
+        the way out: an executed request must never be satisfied by a
+        stored cost-only lowering (it has no operands or compute
+        closures, so running it would silently produce an empty C), and
+        a cost-only request must never observe an executed build's
+        mutable arrays.  Today executed builds are never stored at all,
+        but the guard keeps the isolation boundary machine-checked if
+        that ever changes.
+        """
         if execute:
             # Never cached — see the class docstring.
             self.misses += 1
-            return alg.build(n, threads, seed=seed, execute=True)
-        key = (id(alg), n, threads, seed)
+            build = alg.build(n, threads, seed=seed, execute=True)
+            if build.cost_only:
+                raise ValidationError(
+                    f"{alg.name}: build(execute=True) returned a cost-only "
+                    f"lowering for (n={n}, threads={threads}, seed={seed})"
+                )
+            return build
+        key = (id(alg), n, threads, seed, False)
         entry = self._entries.get(key)
         if entry is not None and entry[0] is alg:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry[1]
+            cached = entry[1]
+            if not cached.cost_only:
+                # An executed build leaked into the cost-only slot —
+                # drop it and re-lower rather than hand out a build
+                # whose arrays another caller may be mutating.
+                del self._entries[key]
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
         self.misses += 1
         build = alg.build(n, threads, seed=seed, execute=False)
         self._entries[key] = (alg, build)

@@ -193,9 +193,16 @@ class CapsStrassen(MatmulAlgorithm):
 
         ap = bp = cp = None
         if execute:
-            ap, _ = pad_to_power_of_two(a)
-            bp, _ = pad_to_power_of_two(b)
-            cp = c if m == n else np.zeros((m, m), dtype=np.float64)
+            if m == n:
+                # No padding needed (n is already a power of two, or the
+                # whole problem fits in one leaf).  Operate in place —
+                # padding here would hand the leaves m x m operand views
+                # with an n x n output.
+                ap, bp, cp = a, b, c
+            else:
+                ap, _ = pad_to_power_of_two(a)
+                bp, _ = pad_to_power_of_two(b)
+                cp = np.zeros((m, m), dtype=np.float64)
 
         omp = OpenMP(f"caps[n={n}]", threads)
         self._threads = threads

@@ -9,6 +9,7 @@ Exposes the library's studies and analyses as subcommands::
     repro bounds --n 8192 --procs 64  # Eq. 8 analysis
     repro sparse --pattern banded      # SpMV storage-scheme study
     repro distributed --n 8192        # distributed EP study
+    repro verify --cases 200 --seed 0  # property-based correctness harness
 
 (also runnable as ``python -m repro ...``)
 """
@@ -199,6 +200,22 @@ def cmd_distributed(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from .testing import run_verify
+
+    progress = None
+    if not args.quiet:
+        progress = lambda msg: print(f"  {msg}", flush=True)  # noqa: E731
+    report = run_verify(
+        cases=args.cases,
+        seed=args.seed,
+        max_tasks=args.max_tasks,
+        progress=progress,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_trace(args) -> int:
     from .algorithms import make_algorithm
     from .reporting import render_gantt, write_chrome_trace
@@ -284,6 +301,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=8192)
     p.add_argument("--nodes", type=int, nargs="+", default=[1, 4, 16, 64])
     p.set_defaults(func=cmd_distributed)
+
+    p = sub.add_parser(
+        "verify",
+        help="property-based correctness harness (invariants, differential "
+        "oracles, RAPL fault injection)",
+    )
+    p.add_argument("--cases", type=int, default=200,
+                   help="number of random cases (seed-pinned: case i uses seed+i)")
+    p.add_argument("--seed", type=int, default=0, help="base seed")
+    p.add_argument("--max-tasks", type=int, default=40,
+                   help="largest random task graph")
+    p.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("trace", help="schedule one algorithm and export a trace")
     _add_machine_args(p)

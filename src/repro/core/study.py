@@ -26,7 +26,7 @@ from ..machine.specs import MachineSpec
 from ..power.planes import Plane
 from ..sim.engine import Engine
 from ..sim.measurement import RunMeasurement
-from ..util.errors import ConfigurationError, ValidationError
+from ..util.errors import ConfigurationError, StudyCellError, ValidationError
 from ..util.validation import require_nonempty, require_positive
 from .ep import EPConvention, EPMeasurement
 from .scaling import ScalingPoint, scaling_series
@@ -309,8 +309,17 @@ class EnergyPerformanceStudy:
         with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
             futures = [pool.submit(_run_cell, payload) for payload in payloads]
             # Merge in submission (= serial) order; a slow early cell
-            # simply makes later .result() calls return instantly.
-            measurements = [f.result() for f in futures]
+            # simply makes later .result() calls return instantly.  A
+            # crashing worker is re-raised with the failing cell's
+            # coordinates instead of a bare pool traceback.
+            measurements = []
+            for (alg, n, p), future in zip(cells, futures):
+                try:
+                    measurements.append(future.result())
+                except StudyCellError:
+                    raise
+                except Exception as exc:
+                    raise StudyCellError(alg.name, n, p, exc) from exc
         msr = getattr(self.engine, "msr", None)
         for (alg, n, p), measurement in zip(cells, measurements):
             result.runs[(alg.name, n, p)] = measurement

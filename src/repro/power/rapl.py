@@ -3,17 +3,58 @@
 Sits between the raw :class:`repro.power.msr.MsrFile` and the PAPI-like
 component API, exactly like the kernel's RAPL driver sits between the
 MSRs and PAPI on the paper's platform.
+
+Fault handling
+--------------
+Real RAPL counters misbehave in four documented ways, and the reader
+must never let any of them silently corrupt the accumulated joules (and
+thereby every derived ``EAvg``):
+
+* **wraparound** — the 32-bit energy-status field overflows every
+  ~262 kJ.  *Corrected* by modular differencing, exact as long as the
+  reader is polled at least once per wrap.
+* **non-monotonic samples** — a counter steps *backwards* (SMM
+  interference, firmware glitch).  In modular arithmetic a backwards
+  step is indistinguishable from an implausibly large forward jump, so
+  any single-poll delta above :attr:`RaplReader.glitch_threshold_units`
+  (default: half the counter range) raises
+  :class:`~repro.util.errors.CounterGlitchError` *without touching the
+  accumulator* — the next good poll recovers exactly.
+* **dropped MSR reads** — ``rdmsr`` fails transiently
+  (:class:`~repro.util.errors.MsrReadError`).  *Corrected*: the sample
+  is skipped, the last-raw snapshot is kept, and the next successful
+  poll folds the full delta in; nothing is lost as long as a successful
+  poll happens at least once per wrap.  ``dropped_reads`` counts them.
+* **corrupt values** — NaN, negative, non-integer or out-of-range
+  register contents.  Raises
+  :class:`~repro.util.errors.CounterCorruptionError` before the value
+  reaches the accumulator.
+
+The fault-injection layer in :mod:`repro.testing.faults` drives all four
+modes against this reader.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
-from ..util.errors import MeasurementError
+from ..util.errors import (
+    CounterCorruptionError,
+    CounterGlitchError,
+    MeasurementError,
+    MsrReadError,
+)
 from .msr import ENERGY_STATUS_MASK, PLANE_MSR, MsrFile
 from .planes import Plane
 
 __all__ = ["RaplDomain", "RaplReader"]
+
+#: Default plausibility bound for a single-poll delta, in counter units:
+#: more than half the counter range in one poll is read as a backwards
+#: glitch, not energy (at package power that is tens of minutes between
+#: polls — far beyond any sane polling loop).
+DEFAULT_GLITCH_THRESHOLD_UNITS = (ENERGY_STATUS_MASK + 1) // 2
 
 
 @dataclass(frozen=True)
@@ -45,30 +86,103 @@ class RaplReader:
     counter wrap (~262 kJ; hours of wall time at package power), readings
     are exact.  This mirrors what PAPI's RAPL component does on real
     hardware.
+
+    Parameters
+    ----------
+    msr:
+        The register file to read.
+    planes:
+        Domains to track (default: PACKAGE, PP0, DRAM — the paper's
+        §V-C configuration plus DRAM).
+    glitch_threshold_units:
+        Single-poll delta, in counter units, above which a sample is
+        rejected as a non-monotonic glitch (see module docstring).
+        ``None`` disables the plausibility check (pure modular
+        differencing, the pre-hardening behaviour).
     """
 
-    def __init__(self, msr: MsrFile, planes: tuple[Plane, ...] | None = None):
+    def __init__(
+        self,
+        msr: MsrFile,
+        planes: tuple[Plane, ...] | None = None,
+        glitch_threshold_units: int | None = DEFAULT_GLITCH_THRESHOLD_UNITS,
+    ):
         self.msr = msr
+        self.glitch_threshold_units = glitch_threshold_units
         self.domains = tuple(
             RaplDomain.for_plane(p)
             for p in (planes or (Plane.PACKAGE, Plane.PP0, Plane.DRAM))
         )
         self._last_raw: dict[Plane, int] = {}
         self._accumulated: dict[Plane, float] = {}
+        #: Transient read failures skipped per plane (diagnostics).
+        self.dropped_reads: dict[Plane, int] = {}
         for dom in self.domains:
-            self._last_raw[dom.plane] = msr.read(dom.msr_address)
+            self._last_raw[dom.plane] = self._checked_read(dom)
             self._accumulated[dom.plane] = 0.0
+            self.dropped_reads[dom.plane] = 0
 
     def planes(self) -> tuple[Plane, ...]:
         """Planes this reader tracks."""
         return tuple(d.plane for d in self.domains)
 
+    # ------------------------------------------------------------------
+
+    def _checked_read(self, dom: RaplDomain) -> int:
+        """``rdmsr`` plus value plausibility checks.
+
+        Raises :class:`CounterCorruptionError` for values that cannot be
+        a 32-bit energy-status register; propagates
+        :class:`MsrReadError` untouched (callers decide whether to skip
+        the sample).
+        """
+        raw = self.msr.read(dom.msr_address)
+        if isinstance(raw, float):
+            if math.isnan(raw) or math.isinf(raw) or raw != int(raw):
+                raise CounterCorruptionError(
+                    f"{dom.plane} energy counter returned non-integral "
+                    f"value {raw!r}"
+                )
+            raw = int(raw)
+        if not isinstance(raw, int):
+            raise CounterCorruptionError(
+                f"{dom.plane} energy counter returned {type(raw).__name__} "
+                f"{raw!r}, expected an integer register value"
+            )
+        if raw < 0 or raw > ENERGY_STATUS_MASK:
+            raise CounterCorruptionError(
+                f"{dom.plane} energy counter value {raw:#x} outside the "
+                f"32-bit energy-status field"
+            )
+        return raw
+
     def poll(self) -> None:
         """Fold any counter movement since the last poll into the
-        accumulated totals, handling 32-bit wraparound."""
+        accumulated totals, handling 32-bit wraparound.
+
+        Transiently failing reads (:class:`MsrReadError`) are skipped —
+        the plane's snapshot is kept and the next successful poll
+        recovers the full delta.  Implausibly large deltas raise
+        :class:`CounterGlitchError` *before* any state is updated, so a
+        glitched sample never contaminates the accumulator.
+        """
         for dom in self.domains:
-            raw = self.msr.read(dom.msr_address)
+            try:
+                raw = self._checked_read(dom)
+            except MsrReadError:
+                self.dropped_reads[dom.plane] += 1
+                continue
             delta = (raw - self._last_raw[dom.plane]) & ENERGY_STATUS_MASK
+            if (
+                self.glitch_threshold_units is not None
+                and delta > self.glitch_threshold_units
+            ):
+                raise CounterGlitchError(
+                    f"{dom.plane} energy counter moved by {delta} units in "
+                    f"one poll (> {self.glitch_threshold_units}): "
+                    f"non-monotonic sample {raw:#x} after "
+                    f"{self._last_raw[dom.plane]:#x}; sample rejected"
+                )
             self._last_raw[dom.plane] = raw
             self._accumulated[dom.plane] += delta * self.msr.joules_per_unit
 

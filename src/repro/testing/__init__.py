@@ -1,0 +1,76 @@
+"""Property-based correctness harness (machine-checked invariants).
+
+The paper's model is built from algebraic identities — Eq. 3 energy
+aggregation over power planes, Eq. 5/6 EP-scaling classification, the
+Eq. 8 CAPS communication bound — and the simulator adds its own
+conservation laws (work totals, critical-path floors, trace/accumulator
+agreement).  This package turns those identities into a harness:
+
+* :mod:`repro.testing.generators` — seed-pinned random generators for
+  machines, task DAGs, scheduler policies and study matrices, with a
+  deterministic greedy shrinker (Hypothesis strategies are layered on
+  top when the library is available);
+* :mod:`repro.testing.invariants` — the invariant library, run against
+  every simulated case;
+* :mod:`repro.testing.oracle` — differential oracles: ``engine="fast"``
+  vs ``engine="reference"`` and ``parallel=N`` vs serial study
+  execution, asserted bit-for-bit;
+* :mod:`repro.testing.faults` — fault injection for the simulated RAPL
+  counters (wraparound, non-monotonic samples, dropped MSR reads, NaN
+  power) against the hardened :class:`~repro.power.rapl.RaplReader`;
+* :mod:`repro.testing.harness` — the ``python -m repro verify`` driver
+  tying it all together, printing seed-reproducible shrunk
+  counterexamples on failure.
+
+CI and developers run the same entry point::
+
+    python -m repro verify --cases 200 --seed 0
+    python tools/verify.py --cases 200 --seed 0
+"""
+
+from .generators import (
+    POLICIES,
+    GraphCase,
+    gen_algorithm_case,
+    gen_graph_case,
+    gen_machine,
+    gen_scaling_case,
+    gen_study_config,
+    shrink_graph_case,
+)
+from .invariants import (
+    Violation,
+    assert_no_violations,
+    check_bound_algebra,
+    check_comm_bounds,
+    check_ep_scaling,
+    check_measurement,
+)
+from .oracle import differential_engine_check, differential_study_check
+from .faults import FaultyMsr, check_fault_modes
+from .harness import Counterexample, VerifyReport, run_verify, verify_case
+
+__all__ = [
+    "POLICIES",
+    "Counterexample",
+    "FaultyMsr",
+    "GraphCase",
+    "VerifyReport",
+    "Violation",
+    "assert_no_violations",
+    "check_bound_algebra",
+    "check_comm_bounds",
+    "check_ep_scaling",
+    "check_fault_modes",
+    "check_measurement",
+    "differential_engine_check",
+    "differential_study_check",
+    "gen_algorithm_case",
+    "gen_graph_case",
+    "gen_machine",
+    "gen_scaling_case",
+    "gen_study_config",
+    "run_verify",
+    "shrink_graph_case",
+    "verify_case",
+]

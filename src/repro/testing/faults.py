@@ -1,0 +1,242 @@
+"""Fault injection for the simulated RAPL counters.
+
+Real RAPL counters misbehave in four documented ways (see
+:mod:`repro.power.rapl`): 32-bit wraparound, non-monotonic (backwards)
+samples, transiently failing ``rdmsr`` calls, and outright corrupt
+register contents.  :class:`FaultyMsr` wraps a healthy
+:class:`~repro.power.msr.MsrFile` and injects each mode on demand;
+:func:`check_fault_modes` drives all four against a hardened
+:class:`~repro.power.rapl.RaplReader` and verifies the contract:
+
+==============  =============================================================
+mode            required reader behaviour
+==============  =============================================================
+wraparound      *corrected* — modular differencing recovers the exact joules
+dropped read    *corrected* — sample skipped (``dropped_reads`` counts it),
+                next good poll recovers the full delta exactly
+non-monotonic   *detected* — ``CounterGlitchError`` raised **before** the
+                accumulator is touched; recovery after the glitch is exact
+NaN / corrupt   *detected* — ``CounterCorruptionError`` raised before the
+                value reaches the accumulator
+==============  =============================================================
+"""
+
+from __future__ import annotations
+
+from ..power.msr import ENERGY_STATUS_MASK, PLANE_MSR, MsrFile
+from ..power.planes import Plane
+from ..util.errors import (
+    CounterCorruptionError,
+    CounterGlitchError,
+    MsrReadError,
+)
+from ..power.rapl import RaplReader
+from .invariants import Violation
+
+__all__ = ["FaultyMsr", "check_fault_modes"]
+
+#: Fault modes understood by :class:`FaultyMsr`.
+FAULT_MODES = ("nonmonotonic", "dropped", "nan", "negative")
+
+_REL = 1e-9
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _REL * max(1.0, abs(a), abs(b))
+
+
+class FaultyMsr:
+    """An :class:`MsrFile` proxy that injects read faults on demand.
+
+    The wrapper starts *disarmed* (reads pass through untouched, so a
+    :class:`RaplReader` can take its initial snapshots cleanly).  Arming
+    a mode corrupts subsequent reads of the target plane's
+    energy-status register:
+
+    ``"nonmonotonic"``
+        the counter appears to step *backwards* by ``backstep`` units
+        (modular), once per armed read;
+    ``"dropped"``
+        ``read`` raises :class:`MsrReadError` while armed;
+    ``"nan"``
+        ``read`` returns ``float("nan")``;
+    ``"negative"``
+        ``read`` returns a negative pseudo-register value.
+
+    ``disarm()`` restores pass-through, letting tests verify recovery.
+    """
+
+    def __init__(self, msr: MsrFile | None = None, plane: Plane = Plane.PACKAGE):
+        self.msr = msr or MsrFile()
+        self.plane = plane
+        self.mode: str | None = None
+        self.backstep = 1000
+        self.injected = 0
+
+    # -- fault control -------------------------------------------------
+
+    def arm(self, mode: str, backstep: int = 1000) -> None:
+        if mode not in FAULT_MODES:
+            raise ValueError(f"unknown fault mode {mode!r}; pick from {FAULT_MODES}")
+        self.mode = mode
+        self.backstep = backstep
+
+    def disarm(self) -> None:
+        self.mode = None
+
+    # -- MsrFile surface (what RaplReader touches) ---------------------
+
+    @property
+    def joules_per_unit(self) -> float:
+        return self.msr.joules_per_unit
+
+    @property
+    def wrap_joules(self) -> float:
+        return self.msr.wrap_joules
+
+    def deposit_energy(self, plane: Plane, joules: float) -> None:
+        self.msr.deposit_energy(plane, joules)
+
+    def read(self, address: int):
+        if self.mode is not None and address == PLANE_MSR[self.plane]:
+            self.injected += 1
+            if self.mode == "dropped":
+                raise MsrReadError(
+                    f"injected transient rdmsr failure at {address:#x}"
+                )
+            if self.mode == "nan":
+                return float("nan")
+            if self.mode == "negative":
+                return -1
+            # nonmonotonic: a backwards step in modular arithmetic.
+            true = self.msr.read(address)
+            return (true - self.backstep) & ENERGY_STATUS_MASK
+        return self.msr.read(address)
+
+
+# ---------------------------------------------------------------------------
+# the four scripted scenarios
+
+
+def check_fault_modes(seed: int = 0) -> tuple[dict[str, str], list[Violation]]:
+    """Drive all four fault modes against a hardened reader.
+
+    Returns ``(results, violations)`` where *results* maps each mode to
+    ``"corrected"`` or ``"detected"`` and *violations* is empty when the
+    reader honoured the full contract (exact totals, no accumulator
+    corruption, typed errors).
+    """
+    out: list[Violation] = []
+    results: dict[str, str] = {}
+
+    # -- wraparound: corrected exactly by modular differencing ----------
+    msr = MsrFile()
+    reader = RaplReader(msr, planes=(Plane.PACKAGE,))
+    step = 0.45 * msr.wrap_joules
+    for _ in range(5):  # crosses the 32-bit boundary twice
+        msr.deposit_energy(Plane.PACKAGE, step)
+        reader.poll()
+    got = reader.energy_joules(Plane.PACKAGE)
+    expect = 5 * step
+    if abs(got - expect) > msr.joules_per_unit * 5 + _REL * expect:
+        out.append(
+            Violation(
+                "fault.wraparound",
+                f"reader saw {got} J across two wraps, expected {expect} J",
+            )
+        )
+    results["wraparound"] = "corrected"
+
+    # -- dropped reads: skipped, then recovered in full -----------------
+    faulty = FaultyMsr()
+    reader = RaplReader(faulty, planes=(Plane.PACKAGE,))
+    faulty.deposit_energy(Plane.PACKAGE, 20.0)
+    faulty.arm("dropped")
+    reader.poll()  # fails transiently; snapshot kept
+    reader.poll()
+    if reader.dropped_reads[Plane.PACKAGE] != 2:
+        out.append(
+            Violation(
+                "fault.dropped",
+                f"expected 2 dropped reads, counted "
+                f"{reader.dropped_reads[Plane.PACKAGE]}",
+            )
+        )
+    faulty.disarm()
+    faulty.deposit_energy(Plane.PACKAGE, 15.0)
+    got = reader.energy_joules(Plane.PACKAGE)
+    if not _close(round(got / faulty.joules_per_unit), round(35.0 / faulty.joules_per_unit)):
+        out.append(
+            Violation(
+                "fault.dropped",
+                f"recovery after dropped reads lost energy: {got} J != 35 J",
+            )
+        )
+    results["dropped"] = "corrected"
+
+    # -- non-monotonic sample: detected, accumulator untouched ----------
+    faulty = FaultyMsr()
+    reader = RaplReader(faulty, planes=(Plane.PACKAGE,))
+    faulty.deposit_energy(Plane.PACKAGE, 10.0)
+    reader.poll()
+    before = reader._accumulated[Plane.PACKAGE]
+    faulty.arm("nonmonotonic", backstep=5000)
+    try:
+        reader.poll()
+    except CounterGlitchError:
+        results["nonmonotonic"] = "detected"
+    else:
+        out.append(
+            Violation(
+                "fault.nonmonotonic",
+                "backwards counter step did not raise CounterGlitchError",
+            )
+        )
+        results["nonmonotonic"] = "missed"
+    if reader._accumulated[Plane.PACKAGE] != before:
+        out.append(
+            Violation(
+                "fault.nonmonotonic",
+                "glitched sample contaminated the accumulator",
+            )
+        )
+    # Recovery: once the glitch clears, totals are exact again.
+    faulty.disarm()
+    faulty.deposit_energy(Plane.PACKAGE, 7.0)
+    got = reader.energy_joules(Plane.PACKAGE)
+    if not _close(round(got / faulty.joules_per_unit), round(17.0 / faulty.joules_per_unit)):
+        out.append(
+            Violation(
+                "fault.nonmonotonic",
+                f"post-glitch total {got} J != 17 J (recovery not exact)",
+            )
+        )
+
+    # -- corrupt values: typed error before accumulation -----------------
+    for mode in ("nan", "negative"):
+        faulty = FaultyMsr()
+        reader = RaplReader(faulty, planes=(Plane.PACKAGE,))
+        faulty.deposit_energy(Plane.PACKAGE, 3.0)
+        reader.poll()
+        before = reader._accumulated[Plane.PACKAGE]
+        faulty.arm(mode)
+        try:
+            reader.poll()
+        except CounterCorruptionError:
+            results[mode] = "detected"
+        else:
+            out.append(
+                Violation(
+                    f"fault.{mode}",
+                    f"{mode} register value did not raise CounterCorruptionError",
+                )
+            )
+            results[mode] = "missed"
+        if reader._accumulated[Plane.PACKAGE] != before:
+            out.append(
+                Violation(
+                    f"fault.{mode}",
+                    "corrupt sample contaminated the accumulator",
+                )
+            )
+    return results, out

@@ -1,0 +1,369 @@
+"""Seed-pinned random case generators with deterministic shrinking.
+
+Every generator is a pure function of an integer seed: the harness
+derives per-case seeds as ``base_seed + index``, so any failure printed
+as *seed S* reproduces with ``python -m repro verify --cases 1 --seed S``
+— no pickle files, no state.
+
+When a case fails, :func:`shrink_graph_case` greedily minimizes it:
+truncate the task list (a prefix of a :class:`TaskGraph` is always a
+valid DAG, because dependencies and creators only ever reference
+earlier tids), drop the thread count to 1, reset the policy to FIFO and
+the machine to the paper's Haswell — re-checking the failure predicate
+after each candidate and keeping only transformations that preserve it.
+
+Hypothesis (when installed) is layered *on top* of the same generators:
+:func:`case_strategy` maps a drawn integer seed through
+:func:`gen_graph_case`, so Hypothesis shrinks over seeds while the
+deterministic shrinker minimizes the failing case itself.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.study import StudyConfig
+from ..machine.specs import (
+    MachineSpec,
+    dual_socket_haswell,
+    generic_smp,
+    haswell_e3_1225,
+)
+from ..runtime.cost import TaskCost, ZERO_COST
+from ..runtime.task import TaskGraph
+from ..util.units import GHZ, GiB, MiB
+
+__all__ = [
+    "POLICIES",
+    "GraphCase",
+    "AlgorithmCase",
+    "ScalingCase",
+    "case_strategy",
+    "gen_algorithm_case",
+    "gen_graph_case",
+    "gen_machine",
+    "gen_scaling_case",
+    "gen_study_config",
+    "shrink_graph_case",
+]
+
+POLICIES: tuple[str, ...] = ("fifo", "lifo", "critical", "steal")
+
+#: Algorithms exercised by the bound/scaling cases (paper's fixtures).
+_ALGORITHM_NAMES: tuple[str, ...] = ("openblas", "strassen", "caps")
+
+
+# ---------------------------------------------------------------------------
+# cases
+
+
+@dataclass
+class GraphCase:
+    """One randomly generated scheduling/measurement case."""
+
+    seed: int
+    machine: MachineSpec
+    graph: TaskGraph
+    threads: int
+    policy: str
+
+    def describe(self) -> str:
+        costful = sum(1 for t in self.graph.tasks if not t.cost.is_zero)
+        return (
+            f"seed={self.seed} machine={self.machine.name} "
+            f"tasks={len(self.graph)} (costful={costful}) "
+            f"threads={self.threads} policy={self.policy}"
+        )
+
+    def command(self) -> str:
+        """CLI line that regenerates (and re-checks) exactly this case."""
+        return f"python -m repro verify --cases 1 --seed {self.seed}"
+
+
+@dataclass(frozen=True)
+class AlgorithmCase:
+    """One (algorithm, n, threads) cell for the Eq. 8 bound checks."""
+
+    seed: int
+    machine: MachineSpec
+    algorithm: str
+    n: int
+    threads: int
+
+    def describe(self) -> str:
+        return (
+            f"seed={self.seed} machine={self.machine.name} "
+            f"alg={self.algorithm} n={self.n} threads={self.threads}"
+        )
+
+
+@dataclass(frozen=True)
+class ScalingCase:
+    """One (algorithm, n, thread-sweep) series for the Eq. 5/6 checks."""
+
+    seed: int
+    machine: MachineSpec
+    algorithm: str
+    n: int
+    threads: tuple[int, ...]
+
+    def describe(self) -> str:
+        return (
+            f"seed={self.seed} machine={self.machine.name} "
+            f"alg={self.algorithm} n={self.n} threads={self.threads}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# generators
+
+
+def _log_uniform(rng: random.Random, lo: float, hi: float) -> float:
+    """Sample log-uniformly in [lo, hi] (spans many magnitudes)."""
+    return math.exp(rng.uniform(math.log(lo), math.log(hi)))
+
+
+def gen_machine(rng: random.Random) -> MachineSpec:
+    """A random platform: the paper's Haswell, its dual-socket sibling,
+    or a parameterized generic SMP (different balance every time)."""
+    kind = rng.randrange(4)
+    if kind == 0:
+        return haswell_e3_1225()
+    if kind == 1:
+        return dual_socket_haswell()
+    return generic_smp(
+        cores=rng.choice((2, 4, 6, 8)),
+        frequency_hz=rng.uniform(1.2, 4.0) * GHZ,
+        flops_per_cycle=rng.choice((4.0, 8.0, 16.0)),
+        l3_bytes=rng.choice((4, 8, 16, 32)) * MiB,
+        dram_channels=rng.choice((1, 2)),
+        dram_capacity_bytes=8 * GiB,
+    )
+
+
+def gen_cost(rng: random.Random) -> TaskCost:
+    """A random task cost: zero-cost joins, single-dimension demands and
+    full five-dimensional mixes all occur."""
+    if rng.random() < 0.15:
+        return ZERO_COST
+    dims = {
+        "flops": (1e3, 1e8),
+        "bytes_l1": (64.0, 1e7),
+        "bytes_l2": (64.0, 1e7),
+        "bytes_l3": (64.0, 1e7),
+        "bytes_dram": (64.0, 1e7),
+    }
+    kwargs: dict[str, float] = {}
+    for name, (lo, hi) in dims.items():
+        if rng.random() < 0.6:
+            kwargs[name] = _log_uniform(rng, lo, hi)
+    if not kwargs:
+        kwargs["flops"] = _log_uniform(rng, 1e3, 1e8)
+    return TaskCost(efficiency=rng.uniform(0.1, 1.0), **kwargs)
+
+
+def gen_graph(rng: random.Random, max_tasks: int = 40) -> TaskGraph:
+    """A random DAG: layered fan-out/fan-in with random dependencies,
+    tied/untied tasks and creator links (all referencing earlier tids,
+    which keeps every prefix a valid graph — the shrinker relies on
+    this)."""
+    n_tasks = rng.randint(1, max(1, max_tasks))
+    graph = TaskGraph(name=f"random[{n_tasks}]")
+    for tid in range(n_tasks):
+        deps: list[int] = []
+        if tid > 0 and rng.random() < 0.75:
+            k = rng.randint(1, min(3, tid))
+            deps = rng.sample(range(tid), k)
+        created_by = rng.randrange(tid) if tid > 0 and rng.random() < 0.4 else None
+        graph.add(
+            f"t{tid}",
+            gen_cost(rng),
+            deps=deps,
+            untied=rng.random() < 0.7,
+            created_by=created_by,
+        )
+    return graph
+
+
+def gen_graph_case(seed: int, max_tasks: int = 40) -> GraphCase:
+    """The full case for one seed: machine + DAG + threads + policy."""
+    rng = random.Random(seed)
+    machine = gen_machine(rng)
+    graph = gen_graph(rng, max_tasks=max_tasks)
+    threads = rng.randint(1, min(machine.cores, 8))
+    policy = rng.choice(POLICIES)
+    return GraphCase(seed, machine, graph, threads, policy)
+
+
+def gen_algorithm_case(seed: int) -> AlgorithmCase:
+    """A small real-algorithm cell for the Eq. 8 / flop-count checks."""
+    rng = random.Random(seed ^ 0x5EED8)
+    machine = haswell_e3_1225() if rng.random() < 0.5 else gen_machine(rng)
+    return AlgorithmCase(
+        seed=seed,
+        machine=machine,
+        algorithm=rng.choice(_ALGORITHM_NAMES),
+        n=rng.choice((64, 96, 128, 192, 256)),
+        threads=rng.randint(1, min(machine.cores, 4)),
+    )
+
+
+def gen_scaling_case(seed: int) -> ScalingCase:
+    """A thread sweep (starting at 1) for the Eq. 5/6 scaling checks."""
+    rng = random.Random(seed ^ 0x5CA11)
+    machine = haswell_e3_1225() if rng.random() < 0.6 else gen_machine(rng)
+    top = min(machine.cores, 4)
+    threads = tuple(p for p in (1, 2, 3, 4) if p <= top)
+    return ScalingCase(
+        seed=seed,
+        machine=machine,
+        algorithm=rng.choice(_ALGORITHM_NAMES),
+        n=rng.choice((64, 128)),
+        threads=threads,
+    )
+
+
+def gen_study_config(seed: int) -> StudyConfig:
+    """A tiny randomized study matrix for the serial/parallel oracle.
+
+    Sizes stay small so the differential study (which runs the matrix
+    twice, once through a process pool, with real numerics) is cheap.
+    """
+    rng = random.Random(seed ^ 0x57CD1)
+    sizes = tuple(sorted(rng.sample((32, 48, 64, 96), rng.randint(1, 2))))
+    threads = tuple(range(1, rng.randint(2, 3)))
+    return StudyConfig(
+        sizes=sizes,
+        threads=threads,
+        seed=rng.randrange(2**16),
+        execute_max_n=64,
+        verify=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+
+
+def _prefix_graph(graph: TaskGraph, keep: int) -> TaskGraph:
+    """The first *keep* tasks as a standalone graph (always a valid DAG:
+    deps and creators reference earlier tids only)."""
+    out = TaskGraph(name=f"{graph.name}[:{keep}]")
+    for t in graph.tasks[:keep]:
+        out.add(
+            t.name,
+            t.cost,
+            deps=t.deps,
+            compute=t.compute,
+            untied=t.untied,
+            created_by=t.created_by,
+        )
+    return out
+
+
+def shrink_graph_case(
+    case: GraphCase,
+    still_fails: Callable[[GraphCase], bool],
+    max_checks: int = 60,
+) -> GraphCase:
+    """Greedily minimize *case* while *still_fails* holds.
+
+    Deterministic (no randomness): binary truncation of the task list,
+    then single-task trimming from the tail, then simplifying threads,
+    policy and machine.  Every candidate is re-checked; a candidate that
+    no longer fails is discarded.  ``max_checks`` bounds the number of
+    predicate evaluations so shrinking can never dominate a run.
+    """
+    checks = 0
+
+    def fails(candidate: GraphCase) -> bool:
+        nonlocal checks
+        if checks >= max_checks:
+            return False
+        checks += 1
+        try:
+            return still_fails(candidate)
+        except Exception:
+            # A candidate that *errors* still reproduces a defect, but
+            # not necessarily the same one — be conservative, drop it.
+            return False
+
+    current = case
+
+    # 1. Binary truncation of the task list.
+    while len(current.graph) > 1:
+        half = len(current.graph) // 2
+        candidate = GraphCase(
+            current.seed,
+            current.machine,
+            _prefix_graph(current.graph, half),
+            current.threads,
+            current.policy,
+        )
+        if fails(candidate):
+            current = candidate
+        else:
+            break
+
+    # 2. Single-task trims from the tail.
+    trimmed = True
+    while trimmed and len(current.graph) > 1:
+        trimmed = False
+        candidate = GraphCase(
+            current.seed,
+            current.machine,
+            _prefix_graph(current.graph, len(current.graph) - 1),
+            current.threads,
+            current.policy,
+        )
+        if fails(candidate):
+            current = candidate
+            trimmed = True
+
+    # 3. Simplify the knobs.
+    if current.threads != 1:
+        candidate = GraphCase(
+            current.seed, current.machine, current.graph, 1, current.policy
+        )
+        if fails(candidate):
+            current = candidate
+    if current.policy != "fifo":
+        candidate = GraphCase(
+            current.seed, current.machine, current.graph, current.threads, "fifo"
+        )
+        if fails(candidate):
+            current = candidate
+    if current.machine.name != "haswell-e3-1225":
+        reference = haswell_e3_1225()
+        if current.threads <= reference.cores:
+            candidate = GraphCase(
+                current.seed,
+                reference,
+                current.graph,
+                current.threads,
+                current.policy,
+            )
+            if fails(candidate):
+                current = candidate
+
+    return current
+
+
+# ---------------------------------------------------------------------------
+# optional Hypothesis layer
+
+
+def case_strategy(max_tasks: int = 24):
+    """A Hypothesis strategy over :class:`GraphCase` (seed-mapped).
+
+    Raises :class:`ImportError` when Hypothesis is unavailable — callers
+    in environments without it use the deterministic sampler directly.
+    """
+    import hypothesis.strategies as st  # deferred: optional dependency
+
+    return st.integers(min_value=0, max_value=2**31 - 1).map(
+        lambda s: gen_graph_case(s, max_tasks=max_tasks)
+    )

@@ -1,0 +1,269 @@
+"""Differential oracles: two implementations, one answer.
+
+Two independent code paths that must agree give an oracle that needs no
+hand-written expected values:
+
+* **fast vs reference event kernel** — the vectorized kernel
+  (:mod:`repro.runtime.fastpath`) must reproduce the reference scalar
+  loop decision-for-decision: identical makespan, identical task
+  records (placement, order, times), identical canonical activity
+  intervals and identical whole-run activity integrals (1e-12
+  relative; per-interval rows at 1e-9 — the engines' event times agree
+  only to a few ulps, see :mod:`tests.runtime.test_fastpath`).
+* **parallel vs serial study execution** — ``run(parallel=N)`` fans the
+  execution matrix over a process pool; the merged result must be
+  *bit-for-bit* identical to the serial run (same run keys, identical
+  measurement floats) and the parent's emulated MSR counters must land
+  on exactly the same values, because the parallel driver replays every
+  cell's plane deposits in serial order.
+
+Both oracles return :class:`~repro.testing.invariants.Violation` lists
+(empty = agreement), so the harness can aggregate and shrink.
+"""
+
+from __future__ import annotations
+
+from ..core.study import EnergyPerformanceStudy, StudyConfig
+from ..machine.specs import haswell_e3_1225
+from ..power.msr import PLANE_MSR, MsrFile
+from ..runtime.scheduler import ActivityInterval, Schedule, Scheduler
+from ..sim.engine import Engine
+from .generators import GraphCase, gen_study_config
+from .invariants import Violation
+
+__all__ = [
+    "canonical_intervals",
+    "compare_schedules",
+    "differential_engine_check",
+    "differential_study_check",
+]
+
+#: Decision-level quantities (makespan, record times, interval bounds,
+#: whole-run integrals) must match to this relative tolerance.
+_REL = 1e-12
+#: Per-interval activity rows: the engines' event times agree to a few
+#: ulps, and on nanosecond-wide intervals that ulp times a ~1e11 B/s
+#: bandwidth is a ~1e-9 relative wiggle in the row itself.  A real
+#: accounting bug shifts a row at O(1) relative, nine orders above.
+_REL_ROW = 1e-9
+
+_DIMS = ("flops", "bytes_l1", "bytes_l2", "bytes_l3", "bytes_dram")
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _REL * max(1.0, abs(a), abs(b))
+
+
+def _close_row(a: float, b: float, total: float) -> bool:
+    return abs(a - b) <= max(_REL_ROW * max(abs(a), abs(b)), _REL * max(1.0, total))
+
+
+def canonical_intervals(
+    intervals: list[ActivityInterval], makespan: float | None = None
+) -> list[ActivityInterval]:
+    """Merge zero-width and sub-ulp sliver intervals backward.
+
+    The reference loop sometimes emits zero-duration bookkeeping rows
+    when it zeroes trivial demands stepwise; the fast kernel folds those
+    into the adjacent interval.  And because the engines' event times
+    agree only to a few ulps (absolute exhaust times vs stepwise
+    decrements), the reference occasionally splits one event into two
+    an ulp apart, emitting an interval a fraction of an ulp wide that
+    the fast kernel never sees.  Both degeneracies are canonicalized
+    the same way: any interval narrower than ``1e-12`` of the run is
+    folded into its predecessor (extending it to the sliver's end), so
+    both engines compare on the same canonical sequence.  Activity
+    integrals are preserved exactly; the only loss is sub-ulp interval
+    bookkeeping no physical quantity depends on.
+    """
+    if makespan is None:
+        makespan = intervals[-1].t_end if intervals else 0.0
+    tol = _REL * max(1.0, makespan)
+    out: list[ActivityInterval] = []
+    for iv in intervals:
+        if out and iv.t_end - iv.t_start <= tol:
+            p = out[-1]
+            out[-1] = ActivityInterval(
+                t_start=p.t_start,
+                t_end=max(p.t_end, iv.t_end),
+                busy_cores=p.busy_cores,
+                flops=p.flops + iv.flops,
+                bytes_l1=p.bytes_l1 + iv.bytes_l1,
+                bytes_l2=p.bytes_l2 + iv.bytes_l2,
+                bytes_l3=p.bytes_l3 + iv.bytes_l3,
+                bytes_dram=p.bytes_dram + iv.bytes_dram,
+            )
+        else:
+            out.append(iv)
+    return out
+
+
+def compare_schedules(ref: Schedule, fast: Schedule) -> list[Violation]:
+    """Every way the two schedules can disagree, as violations."""
+    out: list[Violation] = []
+    if not _close(ref.makespan, fast.makespan):
+        out.append(
+            Violation(
+                "oracle.makespan",
+                f"reference {ref.makespan!r} vs fast {fast.makespan!r}",
+            )
+        )
+
+    if len(ref.records) != len(fast.records):
+        out.append(
+            Violation(
+                "oracle.records",
+                f"record count diverged: {len(ref.records)} vs {len(fast.records)}",
+            )
+        )
+    else:
+        for r, f in zip(ref.records, fast.records):
+            if (r.tid, r.name, r.core) != (f.tid, f.name, f.core):
+                out.append(
+                    Violation("oracle.placement", f"{r} vs {f}")
+                )
+                break
+            if not (_close(r.start, f.start) and _close(r.end, f.end)):
+                out.append(
+                    Violation("oracle.timing", f"{r} vs {f}")
+                )
+                break
+
+    ri = canonical_intervals(ref.intervals, ref.makespan)
+    fi = canonical_intervals(fast.intervals, fast.makespan)
+    if len(ri) != len(fi):
+        out.append(
+            Violation(
+                "oracle.intervals",
+                f"canonical interval count diverged: {len(ri)} vs {len(fi)}",
+            )
+        )
+    else:
+        totals = {d: sum(getattr(i, d) for i in ref.intervals) for d in _DIMS}
+        busy_total = ref.stats.busy_core_seconds
+        for k, (a, b) in enumerate(zip(ri, fi)):
+            if not (_close(a.t_start, b.t_start) and _close(a.t_end, b.t_end)):
+                out.append(
+                    Violation(
+                        "oracle.intervals",
+                        f"interval[{k}] bounds diverged: {a} vs {b}",
+                    )
+                )
+                break
+            row_bad = [
+                d for d in _DIMS
+                if not _close_row(getattr(a, d), getattr(b, d), totals[d])
+            ]
+            if row_bad or not _close_row(
+                a.busy_cores * a.duration, b.busy_cores * b.duration, busy_total
+            ):
+                out.append(
+                    Violation(
+                        "oracle.intervals",
+                        f"interval[{k}] rows diverged ({row_bad or 'busy'}): "
+                        f"{a} vs {b}",
+                    )
+                )
+                break
+
+    # Whole-run activity integrals (insensitive to canonicalization).
+    for dim in _DIMS:
+        sa = sum(getattr(i, dim) for i in ref.intervals)
+        sb = sum(getattr(i, dim) for i in fast.intervals)
+        if not _close(sa, sb):
+            out.append(
+                Violation("oracle.integrals", f"total {dim}: {sa} vs {sb}")
+            )
+
+    # Integer-valued statistics follow from the decisions; exact.
+    for stat in ("task_count", "migrations", "steals"):
+        a, b = getattr(ref.stats, stat), getattr(fast.stats, stat)
+        if a != b:
+            out.append(Violation("oracle.stats", f"{stat}: {a} vs {b}"))
+    return out
+
+
+def differential_engine_check(case: GraphCase) -> list[Violation]:
+    """Replay one generated case through both event kernels."""
+    ref = Scheduler(
+        case.machine, case.threads, case.policy, execute=False, engine="reference"
+    ).run(case.graph)
+    fast = Scheduler(
+        case.machine, case.threads, case.policy, execute=False, engine="fast"
+    ).run(case.graph)
+    return compare_schedules(ref, fast)
+
+
+# ---------------------------------------------------------------------------
+# parallel vs serial study execution
+
+
+def _measurement_fields(m) -> tuple:
+    """The floats that must match bit-for-bit between runs."""
+    e = m.energy
+    return (
+        m.elapsed_s,
+        e.package,
+        e.pp0,
+        e.dram,
+        m.flops,
+        m.bytes_dram,
+        m.stats.busy_core_seconds,
+        m.stats.task_count,
+    )
+
+
+def differential_study_check(
+    seed: int, config: StudyConfig | None = None, workers: int = 2
+) -> list[Violation]:
+    """Run one randomized study matrix serially and through a process
+    pool, asserting bit-for-bit identical results and MSR streams.
+
+    Each run gets its own engine and emulated MSR file; after both
+    complete, every ``(algorithm, size, threads)`` cell's measurement
+    floats must be *exactly* equal (same code in the worker as in the
+    parent, merged deterministically) and the two MSR files' energy
+    counters must read identically (the parallel driver replays plane
+    deposits in serial order).
+    """
+    out: list[Violation] = []
+    config = config or gen_study_config(seed)
+    machine = haswell_e3_1225()
+
+    msr_serial, msr_parallel = MsrFile(), MsrFile()
+    serial = EnergyPerformanceStudy(
+        machine, config=config, engine=Engine(machine, msr=msr_serial)
+    ).run()
+    parallel = EnergyPerformanceStudy(
+        machine, config=config, engine=Engine(machine, msr=msr_parallel)
+    ).run(parallel=workers)
+
+    if set(serial.runs) != set(parallel.runs):
+        missing = set(serial.runs) ^ set(parallel.runs)
+        return [
+            Violation(
+                "oracle.study_keys",
+                f"serial and parallel studies ran different cells: {missing}",
+            )
+        ]
+    for key in serial.runs:
+        a = _measurement_fields(serial.runs[key])
+        b = _measurement_fields(parallel.runs[key])
+        if a != b:
+            out.append(
+                Violation(
+                    "oracle.study_bits",
+                    f"cell {key}: serial {a} != parallel {b}",
+                )
+            )
+    for plane, addr in PLANE_MSR.items():
+        ca, cb = msr_serial.read(addr), msr_parallel.read(addr)
+        if ca != cb:
+            out.append(
+                Violation(
+                    "oracle.study_msr",
+                    f"{plane} counter diverged: serial {ca:#x} vs "
+                    f"parallel {cb:#x}",
+                )
+            )
+    return out

@@ -15,6 +15,10 @@ __all__ = [
     "SchedulingError",
     "SimulationError",
     "MeasurementError",
+    "MsrReadError",
+    "CounterGlitchError",
+    "CounterCorruptionError",
+    "StudyCellError",
     "CalibrationError",
 ]
 
@@ -42,6 +46,45 @@ class SimulationError(ReproError):
 class MeasurementError(ReproError):
     """A power/energy measurement facility was misused (e.g. reading a
     counter that was never started)."""
+
+
+class MsrReadError(MeasurementError):
+    """A model-specific-register read failed transiently (the simulated
+    analogue of an ``-EIO`` from ``/dev/cpu/*/msr``).  Readers may retry
+    or skip the sample; the counter itself is untouched."""
+
+
+class CounterGlitchError(MeasurementError):
+    """An energy counter moved backwards (non-monotonic sample).
+
+    A backwards step is indistinguishable from an implausibly large
+    forward wrap in modular arithmetic; the RAPL reader raises this
+    *before* folding the sample into its accumulator so that a
+    subsequent good poll recovers exactly."""
+
+
+class CounterCorruptionError(MeasurementError):
+    """An energy counter returned a value that cannot be a RAPL
+    register at all (NaN, negative, non-integer, or wider than the
+    32-bit energy-status field).  Accumulating it would silently poison
+    every later EAvg, so the reader refuses."""
+
+
+class StudyCellError(SimulationError):
+    """One cell of the study's execution matrix failed.
+
+    Carries the failing cell's coordinates so a 48-cell parallel run
+    does not reduce to a bare pool traceback.
+    """
+
+    def __init__(self, algorithm: str, size: int, threads: int, cause: BaseException):
+        self.algorithm = algorithm
+        self.size = size
+        self.threads = threads
+        super().__init__(
+            f"study cell {algorithm!r} (size={size}, threads={threads}) failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
 
 
 class CalibrationError(ReproError):

@@ -76,6 +76,79 @@ def test_executed_builds_never_cached_and_isolated(machine, cache):
     np.testing.assert_array_equal(first.c, second.c)  # deterministic clone
 
 
+def test_executed_request_never_served_from_cost_only_entry(machine, cache):
+    """Regression: same (alg, n, threads, seed) key, cost-only lowering
+    cached first — an execute=True request must NOT be satisfied by it
+    (a cost-only build has no operands or compute closures; running it
+    would silently produce an empty C)."""
+    alg = make_algorithm("openblas", machine)
+    cost_only = alg.build_cached(64, 1, seed=0, execute=False, cache=cache)
+    assert cost_only.cost_only and len(cache) == 1
+
+    executed = alg.build_cached(64, 1, seed=0, execute=True, cache=cache)
+    assert executed is not cost_only
+    assert not executed.cost_only
+    assert executed.c is not None
+    # The cost-only entry is still there, untouched, and still served
+    # for cost-only requests.
+    assert alg.build_cached(64, 1, seed=0, execute=False, cache=cache) is cost_only
+
+
+def test_cost_only_request_drops_leaked_executed_entry(machine, cache):
+    """Regression: if an executed build ever leaks into the cost-only
+    slot (e.g. via a future code change), the cache must drop it and
+    re-lower rather than hand out mutable arrays."""
+    alg = make_algorithm("openblas", machine)
+    # Forge the corruption the guard defends against.
+    leaked = alg.build(64, 1, seed=0, execute=True)
+    key = (id(alg), 64, 1, 0, False)
+    cache._entries[key] = (alg, leaked)
+
+    served = alg.build_cached(64, 1, seed=0, execute=False, cache=cache)
+    assert served is not leaked
+    assert served.cost_only
+    # The forged entry was replaced by the fresh cost-only lowering.
+    assert cache._entries[key][1] is served
+
+
+def test_execute_build_returning_cost_only_is_rejected(machine, cache):
+    """An algorithm whose build() ignores execute=True must be caught at
+    the cache boundary, not discovered later as an empty C."""
+    from repro.algorithms.base import BuildResult, MatmulAlgorithm
+    from repro.util.errors import ValidationError
+
+    class Broken(MatmulAlgorithm):
+        name = "broken"
+        display_name = "Broken"
+
+        def flop_count(self, n):
+            return 2.0 * n**3
+
+        def build(self, n, threads, seed=0, execute=True):
+            inner = make_algorithm("openblas", self.machine)
+            return inner.build(n, threads, seed=seed, execute=False)
+
+    with pytest.raises(ValidationError, match="cost-only"):
+        Broken(machine).build_cached(64, 1, execute=True, cache=cache)
+
+
+def test_eviction_never_crosses_the_execute_boundary(machine):
+    """Fill a tiny cache past its maxsize with cost-only entries while
+    interleaving executed requests: eviction churn must never let an
+    executed request observe a cached object."""
+    cache = BuildCache(maxsize=2)
+    alg = make_algorithm("openblas", machine)
+    seen = set()
+    for threads in (1, 2, 3, 1, 2):
+        cost_only = alg.build_cached(64, threads, execute=False, cache=cache)
+        executed = alg.build_cached(64, threads, execute=True, cache=cache)
+        assert executed is not cost_only
+        assert not executed.cost_only
+        assert id(executed) not in seen  # always freshly lowered
+        seen.add(id(executed))
+        assert len(cache) <= 2
+
+
 def test_default_cache_is_process_wide(machine):
     cache = default_build_cache()
     assert default_build_cache() is cache

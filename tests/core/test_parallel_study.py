@@ -9,10 +9,13 @@ the same RAPL counter stream.
 
 import pytest
 
+from repro.algorithms.base import MatmulAlgorithm
+from repro.algorithms.registry import make_algorithm
 from repro.core.study import EnergyPerformanceStudy, StudyConfig
 from repro.power.msr import PLANE_MSR, MsrFile
 from repro.power.planes import Plane
 from repro.sim.engine import Engine
+from repro.util.errors import StudyCellError
 
 
 @pytest.fixture(scope="module")
@@ -56,6 +59,68 @@ def test_msr_counter_stream_replayed(pair):
     for plane in (Plane.PACKAGE, Plane.PP0, Plane.DRAM):
         addr = PLANE_MSR[plane]
         assert msr_ser.read(addr) == msr_par.read(addr), plane
+
+
+class _CrashingAlg(MatmulAlgorithm):
+    """Delegates to the blocked algorithm but blows up on one cell.
+
+    Module-level so the fork-based process pool can ship it to workers.
+    """
+
+    name = "crasher"
+    display_name = "Crasher"
+
+    def __init__(self, machine, crash_cell=(128, 2)):
+        super().__init__(machine)
+        self.crash_cell = crash_cell
+        self._inner = make_algorithm("openblas", machine)
+
+    def flop_count(self, n):
+        return self._inner.flop_count(n)
+
+    def build(self, n, threads, seed=0, execute=True):
+        if (n, threads) == self.crash_cell:
+            raise RuntimeError("injected worker crash")
+        return self._inner.build(n, threads, seed=seed, execute=execute)
+
+
+def test_worker_crash_surfaces_cell_coordinates(machine):
+    """A crashing worker must re-raise as StudyCellError carrying the
+    failing cell's (algorithm, size, threads) — not a bare pool
+    traceback."""
+    cfg = StudyConfig(
+        sizes=(64, 128),
+        threads=(1, 2),
+        execute_max_n=0,
+        verify=False,
+        baseline="crasher",
+    )
+    study = EnergyPerformanceStudy(machine, [_CrashingAlg(machine)], config=cfg)
+    with pytest.raises(StudyCellError) as exc_info:
+        study.run(parallel=2)
+    err = exc_info.value
+    assert (err.algorithm, err.size, err.threads) == ("crasher", 128, 2)
+    assert "size=128" in str(err) and "threads=2" in str(err)
+    assert "injected worker crash" in str(err)
+    assert isinstance(err.__cause__, RuntimeError)
+
+
+def test_worker_crash_message_names_first_failing_cell(machine):
+    """The error names the failing cell even when it is the very first
+    submitted — merge order is serial (table) order, deterministic
+    regardless of pool completion timing."""
+    cfg = StudyConfig(
+        sizes=(64, 128),
+        threads=(1, 2),
+        execute_max_n=0,
+        verify=False,
+        baseline="crasher",
+    )
+    alg = _CrashingAlg(machine, crash_cell=(64, 1))  # the very first cell
+    study = EnergyPerformanceStudy(machine, [alg], config=cfg)
+    with pytest.raises(StudyCellError) as exc_info:
+        study.run(parallel=2)
+    assert (exc_info.value.size, exc_info.value.threads) == (64, 1)
 
 
 def test_parallel_one_is_serial_path(machine):

@@ -82,6 +82,52 @@ def test_single_pstate_machine_rejects_reactive_governors():
     assert governed.frequency.frequency_hz == m.frequency.frequency_hz
 
 
+def test_governed_frequency_monotone_in_utilization():
+    """Across a fine utilization sweep, the ondemand-governed machine's
+    frequency never decreases as load rises — each governor step moves
+    the clock monotonically."""
+    m = dvfs_machine()
+    gov = OndemandGovernor(up_threshold=0.8)
+    freqs = [
+        governed_machine(m, gov, utilization=u / 20).frequency.frequency_hz
+        for u in range(21)
+    ]
+    assert freqs == sorted(freqs)
+    assert freqs[0] == pytest.approx(1.6 * GHZ)  # idle -> bottom state
+    assert freqs[-1] == pytest.approx(3.2 * GHZ)  # saturated -> top state
+
+
+def test_governed_energy_continuous_in_utilization():
+    """Simulated energy for a fixed workload, as a function of the
+    utilization the governor reacts to, changes only at P-state
+    boundaries and by bounded steps — re-governing must never produce a
+    wild energy discontinuity."""
+    from repro.algorithms import BlockedGemm
+    from repro.sim import Engine
+
+    m = dvfs_machine()
+    gov = OndemandGovernor(up_threshold=0.8)
+    build = BlockedGemm(m).build(128, threads=2, execute=False)
+    energies = []
+    for u in range(0, 21, 2):
+        gm = governed_machine(m, gov, utilization=u / 20)
+        energies.append(Engine(gm).run(build.graph, threads=2, execute=False).energy.package)
+    for a, b in zip(energies, energies[1:]):
+        assert abs(b - a) / max(a, b) < 0.35, energies
+
+
+def test_governor_transition_preserves_machine_identity():
+    """governed_machine only re-pins the frequency domain: topology,
+    caches and the energy model are shared, so a transition cannot
+    silently swap the platform."""
+    m = dvfs_machine()
+    gm = governed_machine(m, PowersaveGovernor(), utilization=0.5)
+    assert gm.topology is m.topology
+    assert gm.caches is m.caches
+    assert gm.frequency.power_saving_enabled
+    assert gm.frequency.pstates == m.frequency.pstates  # same ladder
+
+
 def test_governed_run_trades_time_for_power(machine):
     """End to end: the same graph at the powersave state runs longer
     and draws fewer watts."""

@@ -1,11 +1,17 @@
-"""Wrap-aware RAPL reader."""
+"""Wrap-aware, fault-hardened RAPL reader."""
 
 import pytest
 
-from repro.power.msr import MsrFile
+from repro.power.msr import ENERGY_STATUS_MASK, MSR_PKG_ENERGY_STATUS, MsrFile
 from repro.power.planes import Plane
-from repro.power.rapl import RaplDomain, RaplReader
-from repro.util.errors import MeasurementError
+from repro.power.rapl import DEFAULT_GLITCH_THRESHOLD_UNITS, RaplDomain, RaplReader
+from repro.testing.faults import FaultyMsr
+from repro.util.errors import (
+    CounterCorruptionError,
+    CounterGlitchError,
+    MeasurementError,
+    MsrReadError,
+)
 
 
 def test_domain_metadata():
@@ -67,3 +73,139 @@ def test_reset_zeroes_accumulation():
     assert reader.energy_joules(Plane.PACKAGE) == pytest.approx(0.0, abs=1e-9)
     msr.deposit_energy(Plane.PACKAGE, 1.0)
     assert reader.energy_joules(Plane.PACKAGE) == pytest.approx(1.0, abs=1e-3)
+
+
+# ---------------------------------------------------------------------------
+# 32-bit boundary behaviour
+
+
+def test_wrap_at_exact_32bit_boundary():
+    """A deposit that lands the counter exactly on 2^32 units wraps to
+    zero; the modular difference still recovers every joule."""
+    msr = MsrFile()
+    # Plausibility checks off: this test feeds nearly a full counter
+    # range in one poll on purpose, to exercise pure modular
+    # differencing at the exact 2^32 boundary.
+    reader = RaplReader(msr, glitch_threshold_units=None)
+    whole_range = (ENERGY_STATUS_MASK + 1) * msr.joules_per_unit
+    # Stop one unit short of the boundary, poll, then step across it.
+    msr.deposit_energy(Plane.PACKAGE, whole_range - msr.joules_per_unit)
+    reader.poll()
+    assert msr.read(MSR_PKG_ENERGY_STATUS) == ENERGY_STATUS_MASK
+    msr.deposit_energy(Plane.PACKAGE, msr.joules_per_unit)
+    assert msr.read(MSR_PKG_ENERGY_STATUS) == 0  # wrapped to exactly zero
+    assert reader.energy_joules(Plane.PACKAGE) == pytest.approx(
+        whole_range, rel=1e-9
+    )
+
+
+def test_many_wraps_accumulate_exactly():
+    """Repeated crossings of the energy-status boundary, polled each
+    time with plausible (sub-half-range) deltas: the accumulated total
+    is exact to quantization, with the glitch check still armed."""
+    msr = MsrFile()
+    reader = RaplReader(msr)
+    step = 0.45 * msr.wrap_joules
+    for _ in range(10):
+        msr.deposit_energy(Plane.PACKAGE, step)
+        reader.poll()
+    total = reader.energy_joules(Plane.PACKAGE)
+    assert total == pytest.approx(10 * step, abs=10 * msr.joules_per_unit)
+
+
+def test_unpolled_wrap_is_aliased_not_negative():
+    """Missing a full wrap between polls loses exactly one counter
+    range (the documented aliasing failure) — the reading must still be
+    non-negative and below the true value, never garbage."""
+    msr = MsrFile()
+    reader = RaplReader(msr, glitch_threshold_units=None)
+    msr.deposit_energy(Plane.PACKAGE, msr.wrap_joules * 1.25)  # > one wrap
+    got = reader.energy_joules(Plane.PACKAGE)
+    assert got == pytest.approx(0.25 * msr.wrap_joules, rel=1e-6)
+    assert got >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# fault modes (driven through the injection layer)
+
+
+def test_glitch_threshold_default_is_half_range():
+    assert DEFAULT_GLITCH_THRESHOLD_UNITS == (ENERGY_STATUS_MASK + 1) // 2
+
+
+def test_nonmonotonic_sample_raises_and_preserves_accumulator():
+    faulty = FaultyMsr()
+    reader = RaplReader(faulty, planes=(Plane.PACKAGE,))
+    faulty.deposit_energy(Plane.PACKAGE, 10.0)
+    reader.poll()
+    before = reader.energy_joules(Plane.PACKAGE)
+    faulty.arm("nonmonotonic", backstep=4096)
+    with pytest.raises(CounterGlitchError):
+        reader.poll()
+    faulty.disarm()
+    # Accumulator untouched by the rejected sample.
+    assert reader.energy_joules(Plane.PACKAGE) == before
+    # And recovery after the glitch is exact.
+    faulty.deposit_energy(Plane.PACKAGE, 4.0)
+    assert reader.energy_joules(Plane.PACKAGE) == pytest.approx(14.0, abs=1e-3)
+
+
+def test_dropped_reads_are_skipped_and_recovered():
+    faulty = FaultyMsr()
+    reader = RaplReader(faulty, planes=(Plane.PACKAGE,))
+    faulty.deposit_energy(Plane.PACKAGE, 6.0)
+    faulty.arm("dropped")
+    reader.poll()
+    reader.poll()
+    assert reader.dropped_reads[Plane.PACKAGE] == 2
+    faulty.disarm()
+    faulty.deposit_energy(Plane.PACKAGE, 3.0)
+    # Nothing was lost across the outage.
+    assert reader.energy_joules(Plane.PACKAGE) == pytest.approx(9.0, abs=1e-3)
+
+
+def test_nan_counter_raises_corruption():
+    faulty = FaultyMsr()
+    reader = RaplReader(faulty, planes=(Plane.PACKAGE,))
+    faulty.arm("nan")
+    with pytest.raises(CounterCorruptionError):
+        reader.poll()
+
+
+def test_negative_counter_raises_corruption():
+    faulty = FaultyMsr()
+    reader = RaplReader(faulty, planes=(Plane.PACKAGE,))
+    faulty.arm("negative")
+    with pytest.raises(CounterCorruptionError):
+        reader.poll()
+
+
+def test_corrupt_value_at_construction_raises():
+    """The initial snapshot goes through the same plausibility checks."""
+    faulty = FaultyMsr()
+    faulty.arm("nan")
+    with pytest.raises(CounterCorruptionError):
+        RaplReader(faulty, planes=(Plane.PACKAGE,))
+
+
+def test_msr_read_error_at_construction_propagates():
+    """A reader cannot baseline a domain it has never successfully
+    read; construction-time drop-outs propagate as MsrReadError."""
+    faulty = FaultyMsr()
+    faulty.arm("dropped")
+    with pytest.raises(MsrReadError):
+        RaplReader(faulty, planes=(Plane.PACKAGE,))
+
+
+def test_glitch_check_can_be_disabled():
+    """glitch_threshold_units=None restores pure modular differencing
+    (the backwards step aliases to a huge forward delta)."""
+    faulty = FaultyMsr()
+    reader = RaplReader(
+        faulty, planes=(Plane.PACKAGE,), glitch_threshold_units=None
+    )
+    faulty.deposit_energy(Plane.PACKAGE, 1.0)
+    reader.poll()
+    faulty.arm("nonmonotonic", backstep=100)
+    reader.poll()  # no raise: the alias is folded in
+    assert reader.energy_joules(Plane.PACKAGE) > faulty.wrap_joules / 2

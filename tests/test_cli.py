@@ -130,3 +130,21 @@ def test_trace_unknown_algorithm(capsys):
     code, _, err = run(capsys, "trace", "--alg", "magma")
     assert code == 2
     assert "error" in err
+
+
+def test_verify_command_clean(capsys):
+    code, out, _ = run(capsys, "verify", "--cases", "5", "--seed", "0", "--quiet")
+    assert code == 0
+    assert "all invariants held" in out
+    assert "rapl fault modes" in out
+
+
+def test_verify_command_progress_lines(capsys):
+    code, out, _ = run(capsys, "verify", "--cases", "25", "--seed", "1")
+    assert code == 0
+    assert "25/25 cases" in out
+
+
+def test_verify_in_parser_help():
+    parser = build_parser()
+    assert "verify" in parser.format_help()

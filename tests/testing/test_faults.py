@@ -1,0 +1,116 @@
+"""Fault-injection layer: FaultyMsr semantics and the scripted scenarios."""
+
+import math
+
+import pytest
+
+from repro.power.msr import ENERGY_STATUS_MASK, MSR_PKG_ENERGY_STATUS, MsrFile
+from repro.power.planes import Plane
+from repro.testing.faults import FAULT_MODES, FaultyMsr, check_fault_modes
+from repro.util.errors import MsrReadError
+
+
+def test_fault_modes_registry():
+    assert set(FAULT_MODES) == {"nonmonotonic", "dropped", "nan", "negative"}
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="unknown fault mode"):
+        FaultyMsr().arm("cosmic-ray")
+
+
+def test_disarmed_is_transparent():
+    msr = MsrFile()
+    faulty = FaultyMsr(msr)
+    msr.deposit_energy(Plane.PACKAGE, 2.0)
+    assert faulty.read(MSR_PKG_ENERGY_STATUS) == msr.read(MSR_PKG_ENERGY_STATUS)
+    assert faulty.joules_per_unit == msr.joules_per_unit
+    assert faulty.wrap_joules == msr.wrap_joules
+    assert faulty.injected == 0
+
+
+def test_deposit_proxies_to_wrapped_file():
+    msr = MsrFile()
+    faulty = FaultyMsr(msr)
+    faulty.deposit_energy(Plane.PACKAGE, 4.0)
+    units = round(4.0 / msr.joules_per_unit)
+    assert msr.read(MSR_PKG_ENERGY_STATUS) == units
+
+
+def test_nonmonotonic_steps_backwards_modularly():
+    faulty = FaultyMsr()
+    faulty.deposit_energy(Plane.PACKAGE, 1.0)
+    true = faulty.msr.read(MSR_PKG_ENERGY_STATUS)
+    faulty.arm("nonmonotonic", backstep=123)
+    assert faulty.read(MSR_PKG_ENERGY_STATUS) == (true - 123) & ENERGY_STATUS_MASK
+    assert faulty.injected == 1
+
+
+def test_nonmonotonic_wraps_below_zero():
+    """A backstep bigger than the counter value stays in [0, 2^32)."""
+    faulty = FaultyMsr()  # counter is 0
+    faulty.arm("nonmonotonic", backstep=7)
+    got = faulty.read(MSR_PKG_ENERGY_STATUS)
+    assert got == ENERGY_STATUS_MASK - 6
+    assert 0 <= got <= ENERGY_STATUS_MASK
+
+
+def test_dropped_raises_and_counts():
+    faulty = FaultyMsr()
+    faulty.arm("dropped")
+    for _ in range(3):
+        with pytest.raises(MsrReadError):
+            faulty.read(MSR_PKG_ENERGY_STATUS)
+    assert faulty.injected == 3
+
+
+def test_nan_and_negative_payloads():
+    faulty = FaultyMsr()
+    faulty.arm("nan")
+    assert math.isnan(faulty.read(MSR_PKG_ENERGY_STATUS))
+    faulty.arm("negative")
+    assert faulty.read(MSR_PKG_ENERGY_STATUS) < 0
+
+
+def test_faults_target_only_the_armed_plane():
+    """Arming a PACKAGE fault must not corrupt DRAM reads."""
+    from repro.power.msr import PLANE_MSR
+
+    faulty = FaultyMsr(plane=Plane.PACKAGE)
+    faulty.deposit_energy(Plane.DRAM, 1.0)
+    faulty.arm("dropped")
+    assert faulty.read(PLANE_MSR[Plane.DRAM]) == faulty.msr.read(PLANE_MSR[Plane.DRAM])
+    assert faulty.injected == 0
+
+
+def test_disarm_restores_passthrough():
+    faulty = FaultyMsr()
+    faulty.arm("dropped")
+    with pytest.raises(MsrReadError):
+        faulty.read(MSR_PKG_ENERGY_STATUS)
+    faulty.disarm()
+    assert faulty.read(MSR_PKG_ENERGY_STATUS) == 0
+
+
+# ---------------------------------------------------------------------------
+# the scripted scenarios the harness runs once per verify invocation
+
+
+def test_check_fault_modes_contract_holds():
+    results, violations = check_fault_modes(0)
+    assert violations == []
+    assert results == {
+        "wraparound": "corrected",
+        "dropped": "corrected",
+        "nonmonotonic": "detected",
+        "nan": "detected",
+        "negative": "detected",
+    }
+
+
+def test_check_fault_modes_deterministic_across_seeds():
+    """The scenarios are scripted, not sampled — any seed passes."""
+    for seed in (0, 1, 99):
+        results, violations = check_fault_modes(seed)
+        assert violations == []
+        assert set(results) == {"wraparound", "dropped", "nonmonotonic", "nan", "negative"}

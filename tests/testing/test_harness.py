@@ -1,0 +1,173 @@
+"""The verify driver: clean runs pass, mutations produce shrunk,
+seed-reproducible counterexamples.
+
+The mutation smoke check is this PR's acceptance test: corrupting every
+measurement on a single axis must flip the whole harness to failing,
+and the counterexample it reports must (a) be shrunk and (b) reproduce
+from its printed seed alone.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.testing.generators import gen_graph_case
+from repro.testing.harness import (
+    MAX_COUNTEREXAMPLES,
+    Counterexample,
+    VerifyReport,
+    run_verify,
+    verify_case,
+)
+
+
+def _corrupt_pp0(m):
+    """Push PP0 above PACKAGE: violates RAPL containment (Eq. 3)."""
+    energy = dataclasses.replace(m.energy, pp0=m.energy.package + 1.0)
+    return dataclasses.replace(m, energy=energy)
+
+
+def test_clean_run_passes():
+    report = run_verify(cases=30, seed=0)
+    assert report.ok
+    assert report.counterexamples == []
+    assert report.checks["graph_invariants"] == 30
+    # Interleaved families fired at least at index 0.
+    assert report.checks["comm_bounds"] >= 1
+    assert report.checks["ep_scaling"] >= 1
+    assert report.checks["study_differential"] >= 1
+    assert report.checks["bound_algebra"] == 1
+    assert report.checks["rapl_faults"] == 1
+
+
+def test_fault_modes_reported():
+    report = run_verify(cases=1, seed=0)
+    assert report.fault_modes["wraparound"] == "corrected"
+    assert report.fault_modes["dropped"] == "corrected"
+    assert report.fault_modes["nonmonotonic"] == "detected"
+    assert report.fault_modes["nan"] == "detected"
+    assert report.fault_modes["negative"] == "detected"
+
+
+def test_progress_callback_fires():
+    lines = []
+    run_verify(cases=50, seed=0, progress=lines.append)
+    assert lines and "25/50" in lines[0]
+
+
+def test_summary_mentions_checks_and_verdict():
+    report = run_verify(cases=5, seed=3)
+    text = report.summary()
+    assert "graph_invariants" in text
+    assert "rapl fault modes" in text
+    assert "all invariants held" in text
+
+
+# ---------------------------------------------------------------------------
+# mutation smoke check
+
+
+def test_mutation_smoke_check_fails_with_shrunk_counterexample():
+    report = run_verify(cases=10, seed=0, mutator=_corrupt_pp0)
+    assert not report.ok
+    ce = report.counterexamples[0]
+    assert ce.check == "energy.containment"
+    assert f"--seed {ce.seed}" in ce.command
+    assert "--cases 1" in ce.command
+    # Shrunk: the reported case is the minimal one the predicate allows
+    # (the corruption fires on any graph, so shrinking bottoms out).
+    assert "tasks=1 " in ce.case_description, ce.case_description
+
+    # Seed reproducibility: replay exactly what the printed command runs.
+    replay = run_verify(cases=1, seed=ce.seed, mutator=_corrupt_pp0)
+    assert not replay.ok
+    assert replay.counterexamples[0].check == "energy.containment"
+
+
+def _shrunk_size(description: str) -> int:
+    """Parse 'tasks=N' out of a case description."""
+    for token in description.split():
+        if token.startswith("tasks="):
+            return int(token.split("=", 1)[1])
+    raise AssertionError(f"no task count in {description!r}")
+
+
+def test_mutation_counterexample_is_minimal():
+    """The shrunk case for an always-firing corruption is one task on
+    one thread — the shrinker drove it to the floor."""
+    report = run_verify(cases=1, seed=0, mutator=_corrupt_pp0)
+    ce = report.counterexamples[0]
+    assert _shrunk_size(ce.case_description) == 1, ce.case_description
+    assert "threads=1" in ce.case_description
+    # The original generated case at that seed is bigger: real shrinkage.
+    assert len(gen_graph_case(0).graph) > 1
+
+
+def test_mutation_stops_at_max_counterexamples():
+    report = run_verify(cases=3 * MAX_COUNTEREXAMPLES, seed=0, mutator=_corrupt_pp0)
+    assert len(report.counterexamples) == MAX_COUNTEREXAMPLES
+    # The run short-circuited instead of grinding through all cases.
+    assert report.checks["graph_invariants"] <= MAX_COUNTEREXAMPLES + 1
+
+
+def test_failing_summary_lists_repro_commands():
+    report = run_verify(cases=1, seed=7, mutator=_corrupt_pp0)
+    text = report.summary()
+    assert "counterexample" in text
+    assert "python -m repro verify --cases 1 --seed 7" in text
+
+
+def test_flop_mutation_caught_by_work_invariant():
+    mutator = lambda m: dataclasses.replace(m, flops=m.flops + 1e9)  # noqa: E731
+    report = run_verify(cases=1, seed=0, mutator=mutator)
+    assert not report.ok
+    assert report.counterexamples[0].check == "work.flops"
+
+
+# ---------------------------------------------------------------------------
+# verify_case in isolation
+
+
+def test_verify_case_clean():
+    assert verify_case(gen_graph_case(0)) == []
+
+
+def test_verify_case_with_mutator_flags():
+    violations = verify_case(gen_graph_case(0), mutator=_corrupt_pp0)
+    assert any(v.invariant == "energy.containment" for v in violations)
+
+
+def test_verify_case_folds_exceptions():
+    def explode(m):
+        raise RuntimeError("boom")
+
+    violations = verify_case(gen_graph_case(0), mutator=explode)
+    assert violations and violations[0].invariant == "exception"
+    assert "boom" in violations[0].detail
+
+
+# ---------------------------------------------------------------------------
+# report plumbing
+
+
+def test_counterexample_str_has_all_parts():
+    ce = Counterexample(
+        check="energy.containment",
+        seed=42,
+        detail="PP0 exceeds PACKAGE",
+        case_description="graph with 1 tasks",
+        command="python -m repro verify --cases 1 --seed 42",
+    )
+    text = str(ce)
+    assert "energy.containment" in text
+    assert "--seed 42" in text
+    assert "1 tasks" in text
+
+
+def test_report_ok_property():
+    assert VerifyReport(cases=0, seed=0).ok
+    bad = VerifyReport(cases=0, seed=0)
+    bad.counterexamples.append(
+        Counterexample("x", 0, "d", "c", "cmd")
+    )
+    assert not bad.ok

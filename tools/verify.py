@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Standalone entry point for the property-based correctness harness.
+
+Thin wrapper over ``python -m repro verify`` for environments that run
+tools out of a checkout without installing the package::
+
+    python tools/verify.py --cases 200 --seed 0
+
+Every random case is a pure function of ``seed + index``, so a failure
+reported as *seed S* reproduces exactly with::
+
+    python tools/verify.py --cases 1 --seed S
+
+Exit status: 0 when every invariant held, 1 when counterexamples were
+found (each printed with its shrunk case and reproduction command),
+2 on configuration errors.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["verify", *sys.argv[1:]]))
