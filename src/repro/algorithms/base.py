@@ -18,6 +18,7 @@ import numpy as np
 from ..linalg.dense import random_matrix, working_set_bytes
 from ..linalg.verify import VerificationReport, verify_matmul
 from ..machine.specs import MachineSpec
+from ..runtime.arena import TaskArena
 from ..runtime.task import TaskGraph
 from ..util.errors import ConfigurationError, ValidationError
 from ..util.validation import require_positive
@@ -37,7 +38,10 @@ class BuildResult:
     Attributes
     ----------
     graph:
-        The task graph to schedule.
+        The task graph to schedule — an object :class:`TaskGraph`
+        (always, for executed builds) or a columnar
+        :class:`~repro.runtime.arena.TaskArena` (cost-only builds from
+        a templated ``build_arena`` lowering).
     n:
         Problem dimension.
     a, b, c:
@@ -51,7 +55,7 @@ class BuildResult:
         Recursion cutoff relevant to the stability bound.
     """
 
-    graph: TaskGraph
+    graph: TaskGraph | TaskArena
     n: int
     a: np.ndarray | None
     b: np.ndarray | None
@@ -171,7 +175,13 @@ class BuildCache:
                 self.hits += 1
                 return cached
         self.misses += 1
-        build = alg.build(n, threads, seed=seed, execute=False)
+        # Prefer the columnar templated lowering when the algorithm has
+        # one: same graph bit-for-bit (the differential oracle enforces
+        # it), a fraction of the build time and memory, and picklable
+        # across study workers.
+        build = alg.build_arena(n, threads, seed=seed)
+        if build is None:
+            build = alg.build(n, threads, seed=seed, execute=False)
         self._entries[key] = (alg, build)
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
@@ -216,6 +226,18 @@ class MatmulAlgorithm(ABC):
         schedules depend on the team size); ``execute=False`` skips all
         array allocation and numpy closures.
         """
+
+    def build_arena(self, n: int, threads: int, seed: int = 0) -> BuildResult | None:
+        """Cost-only lowering to a :class:`~repro.runtime.arena.TaskArena`,
+        or ``None`` when the algorithm has no columnar path (the cache
+        then falls back to ``build(execute=False)``).
+
+        Implementations must produce a graph *bit-identical* (ids,
+        names, deps, costs, flags) to
+        ``TaskArena.from_graph(build(n, threads, execute=False).graph)``
+        — the object recursion stays the differential oracle.
+        """
+        return None
 
     def build_cached(
         self,

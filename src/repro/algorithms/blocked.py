@@ -25,6 +25,7 @@ import numpy as np
 
 from ..linalg.dense import matmul_flops, working_set_bytes
 from ..machine.specs import MachineSpec
+from ..runtime.arena import NameInterner, TemplateBuilder
 from ..runtime.openmp import OpenMP
 from ..util.validation import require_fraction, require_positive
 from .base import BuildResult, MatmulAlgorithm
@@ -110,4 +111,39 @@ class BlockedGemm(MatmulAlgorithm):
 
         return BuildResult(
             graph=omp.graph, n=n, a=a, b=b, c=c, variant="classical", cutoff=n
+        )
+
+    def build_arena(self, n: int, threads: int, seed: int = 0) -> BuildResult:
+        """Cost-only lowering straight to a :class:`TaskArena`.
+
+        The tile grid is flat (no recursion to template), so this is a
+        plain columnar emission — it exists so cost-only study cells
+        get picklable array graphs instead of ``Task`` objects."""
+        require_positive(threads, "threads")
+        require_positive(n, "n")
+        self.check_memory(n)
+        tb = TemplateBuilder(NameInterner())
+
+        rows = tile_grid(n, threads, self.min_tiles_per_thread)
+        cols = tile_grid(n, threads, self.min_tiles_per_thread)
+        total_flops = self.flop_count(n)
+        total_dram = self.dram_traffic_bytes(n)
+
+        for ro, rs in rows:
+            for co, cs in cols:
+                tile_flops = 2.0 * rs * cs * n
+                dram_share = total_dram * (tile_flops / total_flops)
+                cost = blocked_tile_cost(
+                    rs, cs, n, self.machine, self.efficiency, dram_share
+                )
+                tb.emit(f"tile/({ro},{co})", cost)
+
+        return BuildResult(
+            graph=tb.to_arena(f"openblas[n={n}]"),
+            n=n,
+            a=None,
+            b=None,
+            c=None,
+            variant="classical",
+            cutoff=n,
         )

@@ -32,7 +32,13 @@ import numpy as np
 from ..linalg.dense import pad_to_power_of_two, working_set_bytes
 from ..linalg.fastmm import recursion_depth, winograd_product
 from ..machine.specs import MachineSpec
-from ..runtime.cost import TaskCost
+from ..runtime.arena import (
+    EXT_DEP,
+    NameInterner,
+    SubtreeTemplate,
+    TemplateBuilder,
+)
+from ..runtime.cost import ZERO_COST, TaskCost
 from ..runtime.openmp import OpenMP
 from ..runtime.task import Task
 from ..util.errors import ConfigurationError
@@ -122,6 +128,21 @@ class CapsStrassen(MatmulAlgorithm):
         self.leaf_locality = leaf_locality
         self.pack = pack
         self._cost_memo: dict[int, TaskCost] = {}
+        self._interner = NameInterner()
+        self._tpl_memo: dict[tuple[int, int, int], SubtreeTemplate] = {}
+
+    def __getstate__(self) -> dict:
+        """Drop the per-process template cache (study workers rebuild
+        locally — cheaper than pickling megabytes of arrays)."""
+        state = dict(self.__dict__)
+        state.pop("_tpl_memo", None)
+        state.pop("_interner", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._interner = NameInterner()
+        self._tpl_memo = {}
 
     # ---- structural properties ----------------------------------------
 
@@ -225,6 +246,131 @@ class CapsStrassen(MatmulAlgorithm):
             a=a,
             b=b,
             c=c,
+            variant="winograd",
+            cutoff=self.leaf_cutoff,
+        )
+
+    # ---- templated lowering (arena path) --------------------------------
+
+    def _arena_template(self, s: int, depth: int, threads: int) -> SubtreeTemplate:
+        """Relocatable template of the subtree at *(s, depth)*.
+
+        Memoized by ``(s, min(depth, cutoff_depth), threads)``: beyond
+        the BFS/DFS switch the structure depends only on *s*, and the
+        DFS work-sharing chunk count depends on *threads*.  Emission
+        order mirrors :meth:`_recurse` / :meth:`_bfs_step` /
+        :meth:`_dfs_step` exactly.
+        """
+        key = (s, min(depth, self.cutoff_depth), threads)
+        tpl = self._tpl_memo.get(key)
+        if tpl is not None:
+            return tpl
+        tb = TemplateBuilder(self._interner)
+        if s <= self.leaf_cutoff:
+            cost = leaf_gemm_cost(
+                s, self.machine, self.leaf_efficiency, self.leaf_locality
+            )
+            tb.emit(f"leaf/{s}", cost, (EXT_DEP,))
+        elif depth < self.cutoff_depth:
+            self._tpl_bfs(tb, s, depth, threads)
+        else:
+            self._tpl_dfs(tb, s, depth, threads)
+        tpl = tb.finish()
+        self._tpl_memo[key] = tpl
+        return tpl
+
+    def _tpl_parallel_for(self, tb, name, total_cost, deps, k) -> int:
+        """Template twin of ``OpenMP.parallel_for`` (static schedule,
+        *k* chunks, zero-cost join); returns the join's local id."""
+        per_chunk = total_cost.scaled(1.0 / k)
+        chunks = [tb.emit(f"{name}[{i}]", per_chunk, deps) for i in range(k)]
+        return tb.emit(f"{name}/join", ZERO_COST, chunks)
+
+    def _tpl_bfs(self, tb, s, depth, threads) -> None:
+        h = s // 2
+        one_add = addition_cost(h, 1, self.machine, self.add_locality)
+        ext = (EXT_DEP,)
+        ts1 = tb.emit(f"bfs-s1/{s}", one_add, ext)
+        ts2 = tb.emit(f"bfs-s2/{s}", one_add, (ts1,))
+        ts3 = tb.emit(f"bfs-s3/{s}", one_add, ext)
+        ts4 = tb.emit(f"bfs-s4/{s}", one_add, (ts2,))
+        tt1 = tb.emit(f"bfs-t1/{s}", one_add, ext)
+        tt2 = tb.emit(f"bfs-t2/{s}", one_add, (tt1,))
+        tt3 = tb.emit(f"bfs-t3/{s}", one_add, ext)
+        tt4 = tb.emit(f"bfs-t4/{s}", one_add, (tt2,))
+        dep_lists = [
+            [EXT_DEP],
+            [EXT_DEP],
+            [ts4],
+            [tt4],
+            [ts1, tt1],
+            [ts2, tt2],
+            [ts3, tt3],
+        ]
+        if self.pack:
+            for idx, n_blocks in self._PACK_BLOCKS.items():
+                pack_task = tb.emit(
+                    f"bfs-pack{idx + 1}/{s}",
+                    self._pack_cost(h, n_blocks),
+                    dep_lists[idx],
+                )
+                dep_lists[idx] = [pack_task]
+        child = self._arena_template(h, depth + 1, threads)
+        kids = [tb.splice(child, ext=tuple(d)) for d in dep_lists]
+        tb_u = addition_cost(h, 3, self.machine, self.add_locality)
+        tu = tb.emit(f"bfs-u/{s}", tb_u, (kids[0], kids[4], kids[5], kids[6]))
+        c_tasks = [
+            tb.emit(f"bfs-c11/{s}", one_add, (kids[0], kids[1])),
+            tb.emit(f"bfs-c12/{s}", one_add, (tu, kids[2])),
+            tb.emit(f"bfs-c21/{s}", one_add, (tu, kids[3])),
+            tb.emit(f"bfs-c22/{s}", one_add, (tu, kids[4])),
+        ]
+        if self.pack:
+            tb.emit(f"bfs-unpack/{s}", self._pack_cost(h, 4), c_tasks)
+        else:
+            tb.emit(f"bfs-join/{s}", ZERO_COST, c_tasks)
+
+    def _tpl_dfs(self, tb, s, depth, threads) -> None:
+        h = s // 2
+        if s <= self.dfs_grain:
+            self._tpl_parallel_for(
+                tb, f"dfs-grain/{s}", self.subtree_cost(s), (EXT_DEP,), threads
+            )
+            return
+        prev = self._tpl_parallel_for(
+            tb,
+            f"dfs-pre/{s}",
+            addition_cost(h, 8, self.machine, self.add_locality),
+            (EXT_DEP,),
+            threads,
+        )
+        child = self._arena_template(h, depth + 1, threads)
+        for _ in range(7):
+            prev = tb.splice(child, ext=(prev,))
+        self._tpl_parallel_for(
+            tb,
+            f"dfs-post/{s}",
+            addition_cost(h, 7, self.machine, self.add_locality),
+            (prev,),
+            threads,
+        )
+
+    def build_arena(self, n: int, threads: int, seed: int = 0) -> BuildResult:
+        """Cost-only lowering straight to a :class:`TaskArena` via
+        template stamping."""
+        require_positive(threads, "threads")
+        require_positive(n, "n")
+        self.check_memory(n)
+        m = self.padded_n(n)
+        self._threads = threads
+        tb = TemplateBuilder(self._interner)
+        tb.splice(self._arena_template(m, 0, threads), ext=())
+        return BuildResult(
+            graph=tb.to_arena(f"caps[n={n}]"),
+            n=n,
+            a=None,
+            b=None,
+            c=None,
             variant="winograd",
             cutoff=self.leaf_cutoff,
         )

@@ -36,6 +36,14 @@ from ..linalg.fastmm import (
     winograd_product_peeled,
 )
 from ..machine.specs import MachineSpec
+from ..runtime.arena import (
+    EXT_CREATOR,
+    EXT_DEP,
+    NO_CREATOR,
+    NameInterner,
+    SubtreeTemplate,
+    TemplateBuilder,
+)
 from ..runtime.cost import TaskCost
 from ..runtime.openmp import OpenMP
 from ..runtime.task import Task
@@ -114,6 +122,22 @@ class StrassenWinograd(MatmulAlgorithm):
         self.classic = classic
         self.odd_strategy = odd_strategy
         self._cost_memo: dict[int, TaskCost] = {}
+        self._interner = NameInterner()
+        self._tpl_memo: dict[int, SubtreeTemplate] = {}
+
+    def __getstate__(self) -> dict:
+        """Templates are a per-process cache (megabytes of arrays at
+        n=4096) — study workers rebuild them locally instead of paying
+        pickle freight."""
+        state = dict(self.__dict__)
+        state.pop("_tpl_memo", None)
+        state.pop("_interner", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._interner = NameInterner()
+        self._tpl_memo = {}
 
     # ---- structural properties ----------------------------------------
 
@@ -253,6 +277,83 @@ class StrassenWinograd(MatmulAlgorithm):
             a=a,
             b=b,
             c=c,
+            variant=self.variant,
+            cutoff=self.cutoff,
+        )
+
+    # ---- templated lowering (arena path) --------------------------------
+
+    def _arena_template(self, s: int) -> SubtreeTemplate:
+        """Relocatable template of the subtree at dimension *s*.
+
+        Built once per recursion level and memoized: the template at
+        *s* stamps seven copies of the template at ``s/2`` (array
+        copies) plus the pre/post rows, so a full lowering costs
+        ``O(depth)`` template builds instead of ``O(7^depth)`` Python
+        ``Task`` constructions.  Emission order mirrors
+        :meth:`_recurse` exactly, which makes the stamped arena
+        bit-identical to ``TaskArena.from_graph(build(execute=False))``.
+        """
+        tpl = self._tpl_memo.get(s)
+        if tpl is not None:
+            return tpl
+        tb = TemplateBuilder(self._interner)
+        if s <= self.cutoff:
+            cost = leaf_gemm_cost(
+                s, self.machine, self.leaf_efficiency, self.leaf_locality
+            )
+            tb.emit(f"leaf/{s}", cost, (EXT_DEP,), created_by=EXT_CREATOR)
+        elif s % 2 == 1 and s > self.grain:
+            # Dynamic peeling: even core first, then the border task.
+            core = tb.splice(
+                self._arena_template(s - 1),
+                ext=(EXT_DEP,),
+                ext_creator=EXT_CREATOR,
+            )
+            tb.emit(
+                f"peel/{s}", self._peel_cost(s - 1), (core,),
+                created_by=EXT_CREATOR,
+            )
+        elif s <= self.grain:
+            tb.emit(
+                f"grain/{s}", self.subtree_cost(s), (EXT_DEP,),
+                created_by=EXT_CREATOR,
+            )
+        else:
+            h = s // 2
+            child = self._arena_template(h)
+            pre = tb.emit(
+                f"pre/{s}",
+                addition_cost(h, self.pre_adds, self.machine, self.add_locality),
+                (EXT_DEP,),
+                created_by=EXT_CREATOR,
+            )
+            kids = [tb.splice(child, ext=(pre,), ext_creator=pre) for _ in range(7)]
+            tb.emit(
+                f"post/{s}",
+                addition_cost(h, self.post_adds, self.machine, self.add_locality),
+                kids,
+                created_by=EXT_CREATOR,
+            )
+        tpl = tb.finish()
+        self._tpl_memo[s] = tpl
+        return tpl
+
+    def build_arena(self, n: int, threads: int, seed: int = 0) -> BuildResult:
+        """Cost-only lowering straight to a :class:`TaskArena` via
+        template stamping (no ``Task`` objects, no closures)."""
+        require_positive(threads, "threads")
+        require_positive(n, "n")
+        self.check_memory(n)
+        m = self.padded_n(n)
+        tb = TemplateBuilder(self._interner)
+        tb.splice(self._arena_template(m), ext=(), ext_creator=NO_CREATOR)
+        return BuildResult(
+            graph=tb.to_arena(f"{self.name}[n={n}]"),
+            n=n,
+            a=None,
+            b=None,
+            c=None,
             variant=self.variant,
             cutoff=self.cutoff,
         )

@@ -213,6 +213,14 @@ def cmd_verify(args) -> int:
         progress=progress,
     )
     print(report.summary())
+    missing = [
+        name for name in (args.require or []) if not report.checks.get(name)
+    ]
+    if missing:
+        print(
+            "FAIL: required check(s) never ran: " + ", ".join(sorted(missing))
+        )
+        return 1
     return 0 if report.ok else 1
 
 
@@ -313,6 +321,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-tasks", type=int, default=40,
                    help="largest random task graph")
     p.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    p.add_argument("--require", action="append", metavar="CHECK", default=[],
+                   help="fail unless this check family ran at least once "
+                   "(repeatable; e.g. --require arena_lowering)")
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("trace", help="schedule one algorithm and export a trace")

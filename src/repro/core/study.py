@@ -277,8 +277,33 @@ class EnergyPerformanceStudy:
                 self.config.seed,
                 n <= self.config.execute_max_n,
                 self.config.verify,
+                None,
             )
         )
+
+    def _prebuild(self, alg: MatmulAlgorithm, n: int, threads: int):
+        """Lower a cost-only cell in the parent when the result is a
+        columnar arena — those pickle compactly (plain numpy columns, no
+        ``Task`` objects or closures), so shipping the build saves every
+        worker from re-lowering the same cell.  Executed cells (operand
+        arrays, closures) and object-graph lowerings stay worker-side.
+        """
+        from ..runtime.arena import TaskArena
+
+        if n <= self.config.execute_max_n:
+            return None
+        try:
+            build = alg.build_cached(
+                n, threads, seed=self.config.seed, execute=False
+            )
+        except Exception:
+            # Let the worker hit the same failure so it surfaces with
+            # the cell's coordinates via StudyCellError, not as a bare
+            # parent-side traceback during payload construction.
+            return None
+        if build.cost_only and isinstance(build.graph, TaskArena):
+            return build
+        return None
 
     def _run_parallel(
         self,
@@ -303,6 +328,7 @@ class EnergyPerformanceStudy:
                 self.config.seed,
                 n <= self.config.execute_max_n,
                 self.config.verify,
+                self._prebuild(alg, n, p),
             )
             for alg, n, p in cells
         ]
@@ -337,8 +363,11 @@ def _run_cell(payload) -> RunMeasurement:
     processes; the serial path calls it in-process with the study's
     own engine (MSR deposits then happen inside ``engine.run``).
     """
-    engine, alg, n, threads, seed, execute, verify = payload
-    build = alg.build_cached(n, threads, seed=seed, execute=execute)
+    engine, alg, n, threads, seed, execute, verify, prebuilt = payload
+    if prebuilt is not None:
+        build = prebuilt  # parent-lowered cost-only arena (see _prebuild)
+    else:
+        build = alg.build_cached(n, threads, seed=seed, execute=execute)
     measurement = engine.run(
         build.graph,
         threads,

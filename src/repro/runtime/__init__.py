@@ -4,6 +4,7 @@ Task costs, task graphs, an OpenMP-flavoured construction API and the
 discrete-event scheduler with shared L3/DRAM bandwidth contention.
 """
 
+from .arena import TaskArena
 from .cost import ZERO_COST, TaskCost
 from .openmp import OpenMP, omp_num_threads
 from .scheduler import (
@@ -26,6 +27,7 @@ __all__ = [
     "SchedulePolicy",
     "Scheduler",
     "Task",
+    "TaskArena",
     "TaskCost",
     "TaskGraph",
     "TaskRecord",

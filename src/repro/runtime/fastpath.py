@@ -73,6 +73,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..util.errors import SchedulingError
+from .arena import TaskArena
 from .scheduler import Schedule, TaskRecord, _EPS
 from .stats import RuntimeStats
 from .timeline import CoreTimeline
@@ -122,6 +123,9 @@ class _GraphPlan:
         "zeros",        # list[bool]: task cost exactly zero (is_zero)
         "seeds",        # tids with no dependencies, in task order
         "indeg0",       # initial indegree per task (copied per run)
+        "names",        # per-task name strings (tid-indexed)
+        "created",      # per-task creator tid or None (tid-indexed)
+        "computes",     # per-task closures, or None for arena graphs
         "any_created",  # any task has a creator (affinity can fire)
         "zero_seed",    # any source is zero-cost (cascades interleave)
         "crit_prio",    # critical-policy priorities or None (lazy)
@@ -133,6 +137,9 @@ class _GraphPlan:
         self.zeros: list = []
         self.seeds: list = []
         self.indeg0: list = []
+        self.names: list = []
+        self.created: list = []
+        self.computes: list | None = []
         self.any_created = False
         self.zero_seed = False
         self.crit_prio: list | None = None
@@ -153,6 +160,9 @@ def _build_plans(
     zeros_append = gp.zeros.append
     seeds_append = gp.seeds.append
     indeg_append = gp.indeg0.append
+    names_append = gp.names.append
+    created_append = gp.created.append
+    computes_append = gp.computes.append
     any_created = gp.any_created
     zero_seed = gp.zero_seed
     # ``eps / bw`` is loop-invariant for the fixed-bandwidth dims; the
@@ -163,6 +173,9 @@ def _build_plans(
     eps_l2 = eps / l2_bw if l2_bw > 0.0 else 0.0
     for i in range(lo, len(tasks)):
         task = tasks[i]
+        names_append(task.name)
+        created_append(task.created_by)
+        computes_append(task.compute)
         cost = task.cost
         f = cost.flops
         b1 = cost.bytes_l1
@@ -219,6 +232,95 @@ def _build_plans(
     gp.zero_seed = zero_seed
 
 
+def _build_plans_arena(
+    arena: TaskArena,
+    gp: _GraphPlan,
+    core_peak: float,
+    l1_bw: float,
+    l2_bw: float,
+) -> None:
+    """Arena twin of :func:`_build_plans`: same scalar expressions over
+    ``tolist()``'d columns (bit-identical plan floats — the hoisted
+    divisions match term for term), no ``Task`` objects touched.
+
+    ``gp.computes`` is ``None``: arenas carry no closures (cost-only by
+    construction) and the kernel refuses ``execute=True`` up front.
+    """
+    eps = _EPS
+    plans_append = gp.plans.append
+    zeros_append = gp.zeros.append
+    seeds_append = gp.seeds.append
+    gp.names = arena.names_list()
+    gp.created = arena.created_by_list()
+    gp.computes = None
+    gp.indeg0 = arena.dep_counts.tolist()
+    flops_l = arena.flops.tolist()
+    eff_l = arena.efficiency.tolist()
+    b1_l = arena.bytes_l1.tolist()
+    b2_l = arena.bytes_l2.tolist()
+    b3_l = arena.bytes_l3.tolist()
+    bd_l = arena.bytes_dram.tolist()
+    untied_l = arena.untied.tolist()
+    created_l = gp.created
+    indeg0 = gp.indeg0
+    any_created = False
+    zero_seed = False
+    eps_l1 = eps / l1_bw if l1_bw > 0.0 else 0.0
+    eps_l2 = eps / l2_bw if l2_bw > 0.0 else 0.0
+    for i in range(len(flops_l)):
+        f = flops_l[i]
+        b1 = b1_l[i]
+        b2 = b2_l[i]
+        b3 = b3_l[i]
+        bd = bd_l[i]
+        zero = f == 0.0 and b1 == 0.0 and b2 == 0.0 and b3 == 0.0 and bd == 0.0
+        zeros_append(zero)
+        if not indeg0[i]:
+            seeds_append(i)
+            if zero:
+                zero_seed = True
+        priv = []
+        shared = []
+        bad = -1
+        if f > eps:
+            rate = eff_l[i] * core_peak
+            if rate <= 0.0:
+                bad = 0
+            else:
+                dur = f / rate
+                priv.append((0, rate, dur, dur - eps / rate, f))
+        if b1 > eps:
+            if l1_bw <= 0.0:
+                bad = bad if bad >= 0 else 1
+            else:
+                dur = b1 / l1_bw
+                priv.append((1, l1_bw, dur, dur - eps_l1, b1))
+        if b2 > eps:
+            if l2_bw <= 0.0:
+                bad = bad if bad >= 0 else 2
+            else:
+                dur = b2 / l2_bw
+                priv.append((2, l2_bw, dur, dur - eps_l2, b2))
+        if b3 > eps:
+            shared.append((3, b3))
+        if bd > eps:
+            shared.append((4, bd))
+        created = created_l[i] is not None
+        if created:
+            any_created = True
+        alive0 = -1 - bad if bad >= 0 else len(priv) + len(shared)
+        plans_append(
+            (
+                tuple(priv),
+                tuple(shared),
+                alive0,
+                (not untied_l[i]) and created,
+            )
+        )
+    gp.any_created = any_created
+    gp.zero_seed = zero_seed
+
+
 def _plans_for(sched: "Scheduler", graph: "TaskGraph") -> _GraphPlan:
     """Fetch or build the cached :class:`_GraphPlan` for *graph* on
     this scheduler's machine.
@@ -233,6 +335,14 @@ def _plans_for(sched: "Scheduler", graph: "TaskGraph") -> _GraphPlan:
     machine = sched.machine
     key = (core_peak, l1_bw, l2_bw, machine.l3_bandwidth, machine.dram_bandwidth)
     gp: _GraphPlan | None = getattr(graph, _PLAN_ATTR, None)
+    if isinstance(graph, TaskArena):
+        # Arenas are immutable: no growth path to handle.
+        if gp is not None and gp.key == key:
+            return gp
+        gp = _GraphPlan(key)
+        _build_plans_arena(graph, gp, core_peak, l1_bw, l2_bw)
+        setattr(graph, _PLAN_ATTR, gp)
+        return gp
     tasks = graph.tasks
     if gp is not None and gp.key == key:
         if len(gp.plans) < len(tasks):  # graph grew since last run
@@ -253,8 +363,9 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
     """
     graph.validate()
     n = len(graph)
-    tasks = graph.tasks
-    successors = graph._successors  # read-only; skip the defensive copy
+    is_arena = isinstance(graph, TaskArena)
+    # read-only in both shapes; skip the defensive copy
+    successors = graph.successors_lists() if is_arena else graph._successors
     policy = sched.policy
     threads = sched.threads
     execute = sched.execute
@@ -268,21 +379,39 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
     plans = gp.plans
     zeros = gp.zeros
     seeds = gp.seeds
+    names = gp.names
+    created = gp.created
+    computes = gp.computes
     any_created = gp.any_created
     zero_seed = gp.zero_seed
     indegree = gp.indeg0.copy()
+
+    if execute and computes is None:
+        raise SchedulingError(
+            f"graph {graph.name!r} is a TaskArena (cost-only, no compute "
+            f"closures); build with execute=True for the object path"
+        )
 
     # ---- ready-queue state (same discipline as the reference loop) ----
     priority: list[float] | None = None
     if policy == "critical":
         priority = gp.crit_prio
         if priority is None:
-            priority = [0.0] * n
-            for task in reversed(tasks):
-                below = max(
-                    (priority[s] for s in successors[task.tid]), default=0.0
+            if is_arena:
+                # Vectorized reverse sweep — bit-identical to the
+                # scalar loop below (exact max, same add order).
+                durs = graph.uncontended_durations(
+                    sched._core_peak, sched._l1_bw, sched._l2_bw,
+                    l3_bw, dram_bw,
                 )
-                priority[task.tid] = sched.uncontended_duration(task) + below
+                priority = graph.critical_priorities(durs).tolist()
+            else:
+                priority = [0.0] * n
+                for task in reversed(graph.tasks):
+                    below = max(
+                        (priority[s] for s in successors[task.tid]), default=0.0
+                    )
+                    priority[task.tid] = sched.uncontended_duration(task) + below
             gp.crit_prio = priority
 
     ready_fifo: deque[int] = deque()
@@ -322,7 +451,7 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
         elif priority is not None:
             heapq.heappush(ready_heap, (-priority[tid], tid))
         else:  # steal
-            creator = tasks[tid].created_by
+            creator = created[tid]
             home = task_core.get(creator) if creator is not None else None
             if home is None:
                 shared_inbox.append(tid)
@@ -398,7 +527,7 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
     # end (the add_busy method's validation costs ~0.5us per task).
     busy_of: list[list[tuple[float, float]]] = [[] for _ in range(threads)]
     free_cores: list[int] = list(range(threads - 1, -1, -1))
-    running: dict[int, object] = {}  # core -> Task, in dispatch order
+    running: dict[int, int] = {}  # core -> tid, in dispatch order
     pending_trivial: list[int] = []  # cores whose task exhausted off-event
     t = 0.0
     done_count = 0
@@ -412,14 +541,13 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
         for succ in successors[tid]:
             indegree[succ] -= 1
             if indegree[succ] == 0:
-                stask = tasks[succ]
                 if zeros[succ]:
-                    if execute and stask.compute is not None:
-                        stask.compute()
+                    if execute and computes[succ] is not None:
+                        computes[succ]()
                     rec = _new(TaskRecord)
                     d = rec.__dict__
                     d["tid"] = succ
-                    d["name"] = stask.name
+                    d["name"] = names[succ]
                     d["core"] = -1
                     d["start"] = when
                     d["end"] = when
@@ -447,13 +575,12 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
                 if seed_buf:
                     batch_queue.extend(seed_buf)  # type: ignore[union-attr]
                     seed_buf.clear()
-                task = tasks[tid]
-                if execute and task.compute is not None:
-                    task.compute()
+                if execute and computes[tid] is not None:
+                    computes[tid]()
                 rec = _new(TaskRecord)
                 d = rec.__dict__
                 d["tid"] = tid
-                d["name"] = task.name
+                d["name"] = names[tid]
                 d["core"] = -1
                 d["start"] = 0.0
                 d["end"] = 0.0
@@ -505,7 +632,7 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
             return
         if rate <= 0.0:
             raise SchedulingError(
-                f"task {running[core].name!r} has demand in dim {dim} "
+                f"task {names[running[core]]!r} has demand in dim {dim} "
                 f"but zero service rate"
             )
         e = core * 5 + dim
@@ -569,7 +696,7 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
                     seated3[socket_of[core]] += 1
                 if rate <= 0.0:
                     raise SchedulingError(
-                        f"task {running[core].name!r} has demand in dim {dim} "
+                        f"task {names[running[core]]!r} has demand in dim {dim} "
                         f"but zero service rate"
                     )
                 e = core * 5 + dim
@@ -631,7 +758,7 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
                                 exhaust_entry(core, 4)
                             elif new4 <= 0.0:
                                 raise SchedulingError(
-                                    f"task {running[core].name!r} has demand "
+                                    f"task {names[running[core]]!r} has demand "
                                     f"in dim 4 but zero service rate"
                                 )
                             else:
@@ -650,7 +777,7 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
                                 exhaust_entry(core, 3)
                             elif new3 <= 0.0:
                                 raise SchedulingError(
-                                    f"task {running[core].name!r} has demand "
+                                    f"task {names[running[core]]!r} has demand "
                                     f"in dim 3 but zero service rate"
                                 )
                             else:
@@ -670,7 +797,7 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
                     seated3[0] += 1
                 if rate <= 0.0:
                     raise SchedulingError(
-                        f"task {running[core].name!r} has demand in dim {dim} "
+                        f"task {names[running[core]]!r} has demand in dim {dim} "
                         f"but zero service rate"
                     )
                 e = core * 5 + dim
@@ -713,19 +840,17 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
             core = free_cores[-1]
             if is_steal:
                 tid = pop_for_core(core)
-                task = tasks[tid]
+            elif is_fifo:
+                tid = ready_fifo.popleft()
+            elif is_lifo:
+                tid = ready_lifo.pop()
             else:
-                if is_fifo:
-                    tid = ready_fifo.popleft()
-                elif is_lifo:
-                    tid = ready_lifo.pop()
-                else:
-                    tid = heapq.heappop(ready_heap)[1]
-                task = tasks[tid]
+                tid = heapq.heappop(ready_heap)[1]
             priv, shr, alive0, tied_affinity = plans[tid]
             if track_affinity:
+                creator = created[tid]
                 if not is_steal and tied_affinity:
-                    want = task_core.get(task.created_by)
+                    want = task_core.get(creator)
                     if want is not None and want in free_cores:
                         core = want
                     elif want is not None:
@@ -734,7 +859,6 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
                     free_cores.pop()
                 else:
                     free_cores.remove(core)
-                creator = task.created_by
                 if (
                     creator is not None
                     and task_core.get(creator) is not None
@@ -744,9 +868,9 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
                 task_core[tid] = core
             else:
                 free_cores.pop()
-            if execute and task.compute is not None:
-                task.compute()
-            running[core] = task
+            if execute and computes[tid] is not None:
+                computes[tid]()
+            running[core] = tid
             start_of[core] = t
             # Seat the demand entries from the precomputed plan.
             # Private dims get their final rate now; shared dims queue
@@ -776,7 +900,7 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
             if alive0 <= 0:
                 if alive0 < 0:
                     raise SchedulingError(
-                        f"task {task.name!r} has demand in dim {-1 - alive0} "
+                        f"task {names[tid]!r} has demand in dim {-1 - alive0} "
                         f"but zero service rate"
                     )
                 # All demands at/below EPS: the reference kernel zeroes
@@ -916,12 +1040,12 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
                 finished = [c for c in running if c in finished_set]
             pending_trivial.clear()
             for core in finished:
-                task = running.pop(core)
+                tid_done = running.pop(core)
                 start = start_of[core]
                 rec = _new(TaskRecord)
                 d = rec.__dict__
-                d["tid"] = task.tid
-                d["name"] = task.name
+                d["tid"] = tid_done
+                d["name"] = names[tid_done]
                 d["core"] = core
                 d["start"] = start
                 d["end"] = t
@@ -933,8 +1057,8 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
                     else:
                         busy.append((start, t))
                 free_cores.append(core)
-                if successors[task.tid]:
-                    done_count += complete(task.tid, t)
+                if successors[tid_done]:
+                    done_count += complete(tid_done, t)
                 else:
                     done_count += 1
 

@@ -328,11 +328,26 @@ class Scheduler:
 
         Dispatches to the configured event kernel; both kernels take
         identical scheduling decisions (see ``repro.runtime.fastpath``).
+        Accepts a columnar :class:`~repro.runtime.arena.TaskArena` too:
+        the fast engine consumes its CSR arrays natively, while the
+        reference oracle inflates it to ``Task`` objects first (arenas
+        are cost-only, so ``execute=True`` on one is rejected).
         """
+        from .arena import TaskArena
+
+        is_arena = isinstance(graph, TaskArena)
+        if is_arena and self.execute:
+            raise SchedulingError(
+                f"graph {graph.name!r} is a TaskArena (cost-only, no "
+                f"compute closures); lower with execute=True to run "
+                f"real numerics"
+            )
         if self.engine == "fast":
             from .fastpath import run_fast
 
             return run_fast(self, graph)
+        if is_arena:
+            graph = graph.to_graph()
         return self._run_reference(graph)
 
     def _run_reference(self, graph: TaskGraph) -> Schedule:

@@ -75,6 +75,10 @@ class TaskGraph:
         self.name = name
         self.tasks: list[Task] = []
         self._successors: list[list[int]] = []
+        # Metric memo: (metric, id(func), id(owner)) -> (func, owner, value).
+        # The strong refs to func/owner keep the ids from being recycled
+        # while the entry lives; :meth:`add` clears the dict wholesale.
+        self._metrics_memo: dict[tuple, tuple] = {}
 
     def __len__(self) -> int:
         return len(self.tasks)
@@ -115,6 +119,8 @@ class TaskGraph:
         creator = created_by.tid if isinstance(created_by, Task) else created_by
         task = Task(tid, name, cost, dep_ids, compute, untied, creator)
         self._validated = False
+        if self._metrics_memo:
+            self._metrics_memo.clear()
         self.tasks.append(task)
         self._successors.append([])
         for d in dep_ids:
@@ -182,22 +188,53 @@ class TaskGraph:
             total = total + t.cost
         return total
 
+    def _metric_key(self, metric: str, duration_fn) -> tuple[tuple, tuple]:
+        """Memo key for (*metric*, *duration_fn*).
+
+        Bound methods are re-created on every attribute access
+        (``sched.uncontended_duration`` is a fresh object each time), so
+        keying on ``id(duration_fn)`` alone would never hit.  Key on the
+        underlying function and its owner instead — both stable — and
+        return them too so the caller can store strong references
+        (keeping the ids valid for the lifetime of the entry).
+        """
+        func = getattr(duration_fn, "__func__", duration_fn)
+        owner = getattr(duration_fn, "__self__", None)
+        return (metric, id(func), id(owner)), (func, owner)
+
     def total_work_seconds(self, duration_fn: Callable[[Task], float]) -> float:
-        """T1: serial execution time under *duration_fn*."""
-        return sum(duration_fn(t) for t in self.tasks)
+        """T1: serial execution time under *duration_fn*.
+
+        Memoized per (graph, duration_fn) — :meth:`add` invalidates.
+        """
+        key, refs = self._metric_key("total_work", duration_fn)
+        hit = self._metrics_memo.get(key)
+        if hit is not None:
+            return hit[2]
+        value = sum(duration_fn(t) for t in self.tasks)
+        self._metrics_memo[key] = (*refs, value)
+        return value
 
     def critical_path_seconds(self, duration_fn: Callable[[Task], float]) -> float:
         """T_inf: longest dependency chain under *duration_fn*.
 
         *duration_fn* maps a task to its uncontended duration; the engine
         provides one derived from the machine spec.
+
+        Memoized per (graph, duration_fn) — :meth:`add` invalidates.
         """
+        key, refs = self._metric_key("critical_path", duration_fn)
+        hit = self._metrics_memo.get(key)
+        if hit is not None:
+            return hit[2]
         self.validate()
         finish = [0.0] * len(self.tasks)
         for t in self.tasks:
             start = max((finish[d] for d in t.deps), default=0.0)
             finish[t.tid] = start + duration_fn(t)
-        return max(finish, default=0.0)
+        value = max(finish, default=0.0)
+        self._metrics_memo[key] = (*refs, value)
+        return value
 
     def average_parallelism(self, duration_fn: Callable[[Task], float]) -> float:
         """T1 / T_inf — the DAG's inherent parallelism."""
@@ -205,6 +242,23 @@ class TaskGraph:
         if cp == 0:
             return float("inf") if len(self.tasks) else 0.0
         return self.total_work_seconds(duration_fn) / cp
+
+    # ---- columnar bridge ------------------------------------------------
+
+    def to_arena(self) -> "TaskArena":  # noqa: F821 - deferred import
+        """Columnar (SoA/CSR) snapshot of this graph — see
+        :class:`repro.runtime.arena.TaskArena`.  Compute closures are
+        dropped; the arena is cost-only by construction."""
+        from .arena import TaskArena
+
+        return TaskArena.from_graph(self)
+
+    @staticmethod
+    def from_arena(arena: "TaskArena") -> "TaskGraph":  # noqa: F821
+        """Inflate a columnar arena back into an object graph (the
+        reference engine's input shape).  Inverse of :meth:`to_arena`
+        up to compute closures, which arenas never carry."""
+        return arena.to_graph()
 
     # ---- serialization / export ----------------------------------------
 

@@ -40,10 +40,12 @@ __all__ = [
     "POLICIES",
     "GraphCase",
     "AlgorithmCase",
+    "LoweringCase",
     "ScalingCase",
     "case_strategy",
     "gen_algorithm_case",
     "gen_graph_case",
+    "gen_lowering_case",
     "gen_machine",
     "gen_scaling_case",
     "gen_study_config",
@@ -86,6 +88,25 @@ class GraphCase:
 @dataclass(frozen=True)
 class AlgorithmCase:
     """One (algorithm, n, threads) cell for the Eq. 8 bound checks."""
+
+    seed: int
+    machine: MachineSpec
+    algorithm: str
+    n: int
+    threads: int
+
+    def describe(self) -> str:
+        return (
+            f"seed={self.seed} machine={self.machine.name} "
+            f"alg={self.algorithm} n={self.n} threads={self.threads}"
+        )
+
+
+@dataclass(frozen=True)
+class LoweringCase:
+    """One (algorithm, n, threads) cell for the templated-lowering
+    differential: the columnar ``build_arena`` stamping must be
+    bit-identical to the object ``build(execute=False)`` recursion."""
 
     seed: int
     machine: MachineSpec
@@ -207,6 +228,24 @@ def gen_algorithm_case(seed: int) -> AlgorithmCase:
         machine=machine,
         algorithm=rng.choice(_ALGORITHM_NAMES),
         n=rng.choice((64, 96, 128, 192, 256)),
+        threads=rng.randint(1, min(machine.cores, 4)),
+    )
+
+
+def gen_lowering_case(seed: int) -> LoweringCase:
+    """A templated-lowering differential cell.
+
+    Sizes deliberately mix powers of two (pure recursion), odd sizes
+    (odd-size peel levels), and sizes at/below the recursion cutoffs
+    (leaf and grain emission) so every template branch gets stamped.
+    """
+    rng = random.Random(seed ^ 0xA7E4A)
+    machine = haswell_e3_1225() if rng.random() < 0.5 else gen_machine(rng)
+    return LoweringCase(
+        seed=seed,
+        machine=machine,
+        algorithm=rng.choice(_ALGORITHM_NAMES),
+        n=rng.choice((32, 48, 64, 96, 100, 128, 160, 192, 200, 256, 384)),
         threads=rng.randint(1, min(machine.cores, 4)),
     )
 

@@ -9,9 +9,12 @@ cases from :mod:`repro.testing.generators`, the invariant library from
 Budget discipline: the cheap per-case checks (single-run invariants +
 fast-vs-reference differential) run for *every* case; the expensive
 families are interleaved — an Eq. 8 bound cell every ``bounds_every``
-cases, an Eq. 5/6 scaling sweep every ``scaling_every``, a full
-serial-vs-parallel study differential every ``study_every``, and the
-bound algebra + fault-mode scenarios once per run.  Because every
+cases, a templated-vs-recursive lowering differential every
+``lowering_every`` (the columnar arena stamping must be bit-identical
+to the object recursion), an Eq. 5/6 scaling sweep every
+``scaling_every``, a full serial-vs-parallel study differential every
+``study_every``, and the bound algebra + fault-mode scenarios once per
+run.  Because every
 family keys off the *case seed* (``base_seed + index``) and every
 family fires at index 0, any failure reported as seed *S* reproduces
 completely with::
@@ -37,9 +40,11 @@ from .faults import check_fault_modes
 from .generators import (
     AlgorithmCase,
     GraphCase,
+    LoweringCase,
     ScalingCase,
     gen_algorithm_case,
     gen_graph_case,
+    gen_lowering_case,
     gen_scaling_case,
     shrink_graph_case,
 )
@@ -50,7 +55,11 @@ from .invariants import (
     check_ep_scaling,
     check_measurement,
 )
-from .oracle import differential_engine_check, differential_study_check
+from .oracle import (
+    differential_engine_check,
+    differential_lowering_check,
+    differential_study_check,
+)
 
 __all__ = ["Counterexample", "VerifyReport", "run_verify", "verify_case"]
 
@@ -187,6 +196,7 @@ def run_verify(
     *,
     max_tasks: int = 40,
     bounds_every: int = 10,
+    lowering_every: int = 10,
     scaling_every: int = 25,
     study_every: int = 50,
     progress: Callable[[str], None] | None = None,
@@ -243,6 +253,15 @@ def run_verify(
             ac = gen_algorithm_case(case_seed)
             tick("comm_bounds")
             record("comm_bounds", case_seed, _verify_algorithm_case(ac), ac.describe())
+        if i % lowering_every == 0:
+            lc = gen_lowering_case(case_seed)
+            tick("arena_lowering")
+            record(
+                "arena_lowering",
+                case_seed,
+                differential_lowering_check(lc),
+                lc.describe(),
+            )
         if i % scaling_every == 0:
             sc = gen_scaling_case(case_seed)
             tick("ep_scaling")

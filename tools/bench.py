@@ -18,6 +18,12 @@ and the trace-driven cache simulator:
 ``cache_sim64k``
     A 64 KiB stride-64 stream through the 3-level LRU hierarchy
     (engine-independent; guards the cache-sim hot path).
+``graph_build``
+    Cold lowering of the whole execution matrix: the object-graph
+    recursion versus the templated columnar arena path (fresh
+    algorithm instances per pass, so subtree-template memos start
+    cold), plus ``tracemalloc`` peak lowering memory at the largest
+    problem size for both representations.
 
 Host wall-clock numbers are machine-specific, so the regression gate
 compares *ratios* (reference/fast, cold/hit), which are stable across
@@ -56,6 +62,7 @@ GATED = {
     "scheduler_wide2000": "ratio",
     "matrix_cost": "ratio",
     "lowering_cache": "ratio",
+    "graph_build": "ratio",
 }
 #: Allowed regression before the gate fails (fraction of baseline).
 TOLERANCE = 0.25
@@ -125,6 +132,71 @@ def bench_lowering_cache(machine, n: int, repeats: int) -> dict:
     }
 
 
+def bench_graph_build(
+    machine,
+    sizes: tuple[int, ...],
+    repeats: int,
+    threads: tuple[int, ...] = (1, 2, 3, 4),
+) -> dict:
+    """Cold execution-matrix lowering: object recursion vs templated
+    arena, plus peak lowering memory at the largest size.
+
+    Each timed pass starts from *fresh* algorithm instances so the
+    arena path pays its subtree-template construction (the realistic
+    cold cost a study's first lowering of each cell sees); within a
+    pass templates amortize across cells exactly as they do in
+    production (one algorithm instance lowers every cell).
+    """
+    import tracemalloc
+
+    from repro.algorithms.registry import paper_algorithms
+
+    def build_matrix(arena: bool) -> None:
+        for alg in paper_algorithms(machine):  # fresh = cold memos
+            for n in sizes:
+                for p in threads:
+                    if arena:
+                        build = alg.build_arena(n, p)
+                        if build is None:  # no columnar path
+                            alg.build(n, p, execute=False)
+                    else:
+                        alg.build(n, p, execute=False)
+
+    reps = min(repeats, 3)  # a full object pass is seconds, not ms
+    out = {
+        "sizes": list(sizes),
+        "cells": 3 * len(sizes) * len(threads),
+        "object_s": _best_of(lambda: build_matrix(False), reps),
+        "arena_s": _best_of(lambda: build_matrix(True), reps),
+    }
+    out["ratio"] = out["object_s"] / out["arena_s"]
+
+    n_big = max(sizes)
+
+    def peak_bytes(arena: bool) -> int:
+        alg = StrassenWinograd(machine)
+        tracemalloc.start()
+        try:
+            if arena:
+                graph = alg.build_arena(n_big, 4).graph
+            else:
+                graph = alg.build(n_big, 4, execute=False).graph
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        del graph
+        return peak
+
+    out["object_peak_mb"] = peak_bytes(False) / 2**20
+    out["arena_peak_mb"] = peak_bytes(True) / 2**20
+    out["mem_ratio"] = (
+        out["object_peak_mb"] / out["arena_peak_mb"]
+        if out["arena_peak_mb"] > 0
+        else float("inf")
+    )
+    return out
+
+
 def bench_cache_sim(repeats: int) -> dict:
     """64 KiB stride-64 stream through the LRU hierarchy."""
     spec = CacheHierarchySpec.haswell_like()
@@ -147,6 +219,7 @@ def run_suite(smoke: bool) -> dict:
         "matrix_cost": bench_matrix(machine, sizes),
         "lowering_cache": bench_lowering_cache(machine, cache_n, repeats),
         "cache_sim64k": bench_cache_sim(repeats),
+        "graph_build": bench_graph_build(machine, sizes, repeats),
     }
 
 

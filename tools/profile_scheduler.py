@@ -1,47 +1,35 @@
 #!/usr/bin/env python
-"""Profile the simulator's hot paths (the optimization-guide workflow:
-no optimization without measuring).
+"""Deprecated shim: this grew into ``tools/profile.py``.
 
-Runs cProfile over a representative workload — Strassen at n=2048, four
-threads — and prints the top functions by cumulative time, so changes to
-the scheduler or cost models can be checked for regressions.
+The old behavior (cProfile over the event kernel on a Strassen object
+graph) is exactly ``--phase sim --graph object``; the new tool also
+profiles graph lowering (``--phase build``) and the full study matrix
+(``--phase study``).  This shim forwards its historical flags so
+existing invocations keep working.
 
-Run:  python tools/profile_scheduler.py [--n 2048] [--top 15]
+Run the real tool:  python tools/profile.py --phase sim [--n 2048]
 """
 
-import argparse
-import cProfile
-import pstats
-import io
-
-from repro.machine import haswell_e3_1225
-from repro.algorithms import StrassenWinograd
-from repro.sim import Engine
+import importlib.util
+import os
+import sys
 
 
 def main() -> None:
-    ap = argparse.ArgumentParser()
-    ap.add_argument("--n", type=int, default=2048)
-    ap.add_argument("--threads", type=int, default=4)
-    ap.add_argument("--top", type=int, default=15)
-    args = ap.parse_args()
+    here = os.path.dirname(os.path.abspath(__file__))
+    spec = importlib.util.spec_from_file_location(
+        "_repro_tools_profile", os.path.join(here, "profile.py")
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
 
-    machine = haswell_e3_1225()
-    alg = StrassenWinograd(machine)
-    build = alg.build(args.n, args.threads, execute=False)
-    engine = Engine(machine)
-    print(f"profiling: strassen n={args.n}, {len(build.graph)} tasks\n")
-
-    profiler = cProfile.Profile()
-    profiler.enable()
-    measurement = engine.run(build.graph, args.threads, execute=False)
-    profiler.disable()
-
-    stream = io.StringIO()
-    stats = pstats.Stats(profiler, stream=stream)
-    stats.sort_stats("cumulative").print_stats(args.top)
-    print(stream.getvalue())
-    print(measurement.summary())
+    print(
+        "note: tools/profile_scheduler.py is deprecated; use "
+        "tools/profile.py --phase {build,sim,study}\n",
+        file=sys.stderr,
+    )
+    sys.argv = [sys.argv[0], "--phase", "sim", "--graph", "object"] + sys.argv[1:]
+    mod.main()
 
 
 if __name__ == "__main__":
