@@ -17,17 +17,17 @@ The package provides:
   future-work extensions (distributed-memory EP, sparse-format EP);
 * :mod:`repro.reporting` — ASCII figures and table emission.
 
-Quickstart::
+Quickstart (the stable facade is :mod:`repro.api`)::
 
-    from repro import haswell_e3_1225, EnergyPerformanceStudy, StudyConfig
+    from repro.api import Study, RunOptions
     from repro.core import table3_power
 
-    machine = haswell_e3_1225()
-    study = EnergyPerformanceStudy(machine, config=StudyConfig(sizes=(512, 1024)))
-    result = study.run()
-    print(table3_power(result).to_ascii())
+    run = Study(sizes=(512, 1024)).run(RunOptions(parallel=4, trace="out.json"))
+    print(table3_power(run.result).to_ascii())
+    print(run.phase_summary().to_ascii())
 """
 
+from .api import RunOptions, Study, StudyRun
 from .core.study import (
     PAPER_SIZES,
     PAPER_THREADS,
@@ -39,7 +39,7 @@ from .machine.specs import MachineSpec, generic_smp, haswell_e3_1225
 from .sim.engine import Engine
 from .sim.measurement import RunMeasurement
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Engine",
@@ -48,8 +48,11 @@ __all__ = [
     "PAPER_SIZES",
     "PAPER_THREADS",
     "RunMeasurement",
+    "RunOptions",
+    "Study",
     "StudyConfig",
     "StudyResult",
+    "StudyRun",
     "__version__",
     "generic_smp",
     "haswell_e3_1225",

@@ -18,6 +18,8 @@ import numpy as np
 from ..linalg.dense import random_matrix, working_set_bytes
 from ..linalg.verify import VerificationReport, verify_matmul
 from ..machine.specs import MachineSpec
+from ..observability import trace
+from ..observability.metrics import counter, gauge
 from ..runtime.arena import TaskArena
 from ..runtime.task import TaskGraph
 from ..util.errors import ConfigurationError, ValidationError
@@ -28,7 +30,31 @@ __all__ = [
     "BuildResult",
     "MatmulAlgorithm",
     "default_build_cache",
+    "record_lowering",
 ]
+
+# Process-wide lowering metrics (see DESIGN.md §10).  Counters are
+# always-on; the BuildCache pair mirrors its own hits/misses fields so
+# traced study cells can attribute cache behaviour per cell.
+_CACHE_HITS = counter("build_cache.hits", description="BuildCache lookups served from cache")
+_CACHE_MISSES = counter("build_cache.misses", description="BuildCache lookups that had to lower")
+_TASKS_LOWERED = counter("lowering.tasks", description="tasks emitted by graph lowerings")
+_ARENA_BYTES = gauge("lowering.arena_bytes", unit="B", description="resident bytes of the last columnar arena lowering")
+
+
+def record_lowering(build: BuildResult) -> BuildResult:
+    """Tally a finished lowering into the process metrics.
+
+    Called by every ``build_arena`` implementation and by the cache's
+    object-path fallback, so ``lowering.tasks`` counts all lowered
+    tasks regardless of representation and ``lowering.arena_bytes``
+    tracks the columnar arenas' resident footprint.
+    """
+    graph = build.graph
+    _TASKS_LOWERED.add(len(graph))
+    if isinstance(graph, TaskArena):
+        _ARENA_BYTES.set(graph.nbytes)
+    return build
 
 
 @dataclass
@@ -154,7 +180,12 @@ class BuildCache:
         if execute:
             # Never cached — see the class docstring.
             self.misses += 1
-            build = alg.build(n, threads, seed=seed, execute=True)
+            _CACHE_MISSES.add()
+            with trace.span(
+                "lower", alg=alg.name, n=n, threads=threads, execute=True
+            ):
+                build = alg.build(n, threads, seed=seed, execute=True)
+            record_lowering(build)
             if build.cost_only:
                 raise ValidationError(
                     f"{alg.name}: build(execute=True) returned a cost-only "
@@ -173,15 +204,22 @@ class BuildCache:
             else:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                _CACHE_HITS.add()
                 return cached
         self.misses += 1
+        _CACHE_MISSES.add()
         # Prefer the columnar templated lowering when the algorithm has
         # one: same graph bit-for-bit (the differential oracle enforces
         # it), a fraction of the build time and memory, and picklable
         # across study workers.
-        build = alg.build_arena(n, threads, seed=seed)
-        if build is None:
-            build = alg.build(n, threads, seed=seed, execute=False)
+        with trace.span(
+            "lower", alg=alg.name, n=n, threads=threads, execute=False
+        ):
+            build = alg.build_arena(n, threads, seed=seed)
+            if build is None:
+                build = record_lowering(
+                    alg.build(n, threads, seed=seed, execute=False)
+                )
         self._entries[key] = (alg, build)
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)

@@ -28,7 +28,8 @@ from ..machine.specs import MachineSpec
 from ..runtime.arena import NameInterner, TemplateBuilder
 from ..runtime.openmp import OpenMP
 from ..util.validation import require_fraction, require_positive
-from .base import BuildResult, MatmulAlgorithm
+from ..observability import trace
+from .base import BuildResult, MatmulAlgorithm, record_lowering
 from .kernels import blocked_tile_cost
 from .tuning import select_blocking, tile_grid
 
@@ -122,28 +123,31 @@ class BlockedGemm(MatmulAlgorithm):
         require_positive(threads, "threads")
         require_positive(n, "n")
         self.check_memory(n)
-        tb = TemplateBuilder(NameInterner())
+        with trace.span("lower_arena", alg=self.name, n=n, threads=threads):
+            tb = TemplateBuilder(NameInterner())
 
-        rows = tile_grid(n, threads, self.min_tiles_per_thread)
-        cols = tile_grid(n, threads, self.min_tiles_per_thread)
-        total_flops = self.flop_count(n)
-        total_dram = self.dram_traffic_bytes(n)
+            rows = tile_grid(n, threads, self.min_tiles_per_thread)
+            cols = tile_grid(n, threads, self.min_tiles_per_thread)
+            total_flops = self.flop_count(n)
+            total_dram = self.dram_traffic_bytes(n)
 
-        for ro, rs in rows:
-            for co, cs in cols:
-                tile_flops = 2.0 * rs * cs * n
-                dram_share = total_dram * (tile_flops / total_flops)
-                cost = blocked_tile_cost(
-                    rs, cs, n, self.machine, self.efficiency, dram_share
+            for ro, rs in rows:
+                for co, cs in cols:
+                    tile_flops = 2.0 * rs * cs * n
+                    dram_share = total_dram * (tile_flops / total_flops)
+                    cost = blocked_tile_cost(
+                        rs, cs, n, self.machine, self.efficiency, dram_share
+                    )
+                    tb.emit(f"tile/({ro},{co})", cost)
+
+            return record_lowering(
+                BuildResult(
+                    graph=tb.to_arena(f"openblas[n={n}]"),
+                    n=n,
+                    a=None,
+                    b=None,
+                    c=None,
+                    variant="classical",
+                    cutoff=n,
                 )
-                tb.emit(f"tile/({ro},{co})", cost)
-
-        return BuildResult(
-            graph=tb.to_arena(f"openblas[n={n}]"),
-            n=n,
-            a=None,
-            b=None,
-            c=None,
-            variant="classical",
-            cutoff=n,
-        )
+            )

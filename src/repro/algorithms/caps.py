@@ -43,7 +43,8 @@ from ..runtime.openmp import OpenMP
 from ..runtime.task import Task
 from ..util.errors import ConfigurationError
 from ..util.validation import next_power_of_two, require_fraction, require_positive
-from .base import BuildResult, MatmulAlgorithm
+from ..observability import trace
+from .base import BuildResult, MatmulAlgorithm, record_lowering
 from .kernels import addition_cost, leaf_gemm_cost
 from .traffic import streaming_traffic
 
@@ -361,19 +362,22 @@ class CapsStrassen(MatmulAlgorithm):
         require_positive(threads, "threads")
         require_positive(n, "n")
         self.check_memory(n)
-        m = self.padded_n(n)
-        self._threads = threads
-        tb = TemplateBuilder(self._interner)
-        tb.splice(self._arena_template(m, 0, threads), ext=())
-        return BuildResult(
-            graph=tb.to_arena(f"caps[n={n}]"),
-            n=n,
-            a=None,
-            b=None,
-            c=None,
-            variant="winograd",
-            cutoff=self.leaf_cutoff,
-        )
+        with trace.span("lower_arena", alg=self.name, n=n, threads=threads):
+            m = self.padded_n(n)
+            self._threads = threads
+            tb = TemplateBuilder(self._interner)
+            tb.splice(self._arena_template(m, 0, threads), ext=())
+            return record_lowering(
+                BuildResult(
+                    graph=tb.to_arena(f"caps[n={n}]"),
+                    n=n,
+                    a=None,
+                    b=None,
+                    c=None,
+                    variant="winograd",
+                    cutoff=self.leaf_cutoff,
+                )
+            )
 
     def _recurse(self, omp, av, bv, cw, s, depth, deps, execute) -> Task:
         """Algorithm 2: choose BFS or DFS per level."""

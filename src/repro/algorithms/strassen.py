@@ -53,7 +53,8 @@ from ..util.validation import (
     require_fraction,
     require_positive,
 )
-from .base import BuildResult, MatmulAlgorithm
+from ..observability import trace
+from .base import BuildResult, MatmulAlgorithm, record_lowering
 from .kernels import addition_cost, leaf_gemm_cost
 
 __all__ = ["StrassenWinograd"]
@@ -345,18 +346,21 @@ class StrassenWinograd(MatmulAlgorithm):
         require_positive(threads, "threads")
         require_positive(n, "n")
         self.check_memory(n)
-        m = self.padded_n(n)
-        tb = TemplateBuilder(self._interner)
-        tb.splice(self._arena_template(m), ext=(), ext_creator=NO_CREATOR)
-        return BuildResult(
-            graph=tb.to_arena(f"{self.name}[n={n}]"),
-            n=n,
-            a=None,
-            b=None,
-            c=None,
-            variant=self.variant,
-            cutoff=self.cutoff,
-        )
+        with trace.span("lower_arena", alg=self.name, n=n, threads=threads):
+            m = self.padded_n(n)
+            tb = TemplateBuilder(self._interner)
+            tb.splice(self._arena_template(m), ext=(), ext_creator=NO_CREATOR)
+            return record_lowering(
+                BuildResult(
+                    graph=tb.to_arena(f"{self.name}[n={n}]"),
+                    n=n,
+                    a=None,
+                    b=None,
+                    c=None,
+                    variant=self.variant,
+                    cutoff=self.cutoff,
+                )
+            )
 
     def _recurse(
         self,

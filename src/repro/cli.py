@@ -20,7 +20,15 @@ import argparse
 import sys
 from typing import Sequence
 
-from . import EnergyPerformanceStudy, StudyConfig
+from .cliargs import (
+    add_format_arg,
+    add_machine_args,
+    add_trace_arg,
+    check_trace_path,
+    emit,
+    get_format,
+    machine_from_args,
+)
 from .core import (
     analyze_crossover,
     choice_table,
@@ -30,38 +38,65 @@ from .core import (
     table3_power,
     table4_ep,
 )
-from .machine import generic_smp, haswell_e3_1225
 from .util.errors import ReproError
 from .util.tables import TextTable
-from .util.units import GHZ, GiB
 
 __all__ = ["main", "build_parser"]
 
-
-def _machine_from_args(args) -> "MachineSpec":
-    if args.cores is None and args.channels is None and args.frequency_ghz is None:
-        return haswell_e3_1225()
-    return generic_smp(
-        cores=args.cores or 4,
-        frequency_hz=(args.frequency_ghz or 3.2) * GHZ,
-        dram_channels=args.channels or 1,
-        dram_capacity_bytes=(args.memory_gib or 4) * GiB,
-    )
+# Backwards-compatible private aliases (the canonical home of these
+# helpers is repro.cliargs, shared with tools/).
+_machine_from_args = machine_from_args
+_add_machine_args = add_machine_args
+_emit = emit
 
 
-def _add_machine_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--cores", type=int, default=None, help="core count (default: paper platform)")
-    parser.add_argument("--channels", type=int, default=None, help="DRAM channels")
-    parser.add_argument("--frequency-ghz", type=float, default=None, help="core clock in GHz")
-    parser.add_argument("--memory-gib", type=int, default=None, help="DRAM capacity in GiB")
+class _scoped_tracing:
+    """``--trace OUT.json`` plumbing for subcommands that drive a study
+    themselves (sparse, distributed): scoped tracer + metrics snapshot,
+    Chrome-trace written and phase summary printed on exit."""
 
+    def __init__(self, out: "str | None", command: str):
+        from .observability import trace as obtrace
+        from .observability.metrics import registry
 
-def _emit(table: TextTable, fmt: str) -> str:
-    if fmt == "markdown":
-        return table.to_markdown()
-    if fmt == "csv":
-        return table.to_csv()
-    return table.to_ascii()
+        check_trace_path(out)
+        self._obtrace = obtrace
+        self._registry = registry()
+        self.out = out
+        self.command = command
+        self._scope = obtrace.tracing() if out else None
+        self._snap = None
+
+    def __enter__(self) -> "_scoped_tracing":
+        if self._scope is not None:
+            self._snap = self._registry.snapshot()
+            self._scope.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._scope is None:
+            return False
+        self._scope.__exit__(exc_type, exc, tb)
+        if exc_type is None:
+            from .observability.export import phase_table, write_trace_json
+
+            tracer = self._scope.tracer
+            roots = [sp for sp in tracer.roots() if sp.finished]
+            path = write_trace_json(
+                self.out,
+                tracer,
+                metrics=self._registry.export_delta(self._snap),
+                meta={
+                    "command": self.command,
+                    "parallel": 0,
+                    "wall_s": sum(sp.duration_s for sp in roots),
+                },
+            )
+            print()
+            print("phase summary:")
+            print(phase_table(tracer).to_ascii())
+            print(f"wrote chrome://tracing file to {path}")
+        return False
 
 
 def cmd_describe(args) -> int:
@@ -70,21 +105,28 @@ def cmd_describe(args) -> int:
 
 
 def cmd_study(args) -> int:
-    machine = _machine_from_args(args)
-    config = StudyConfig(
+    from .api import RunOptions, Study
+
+    check_trace_path(args.trace)
+    study = Study(
+        machine_from_args(args),
         sizes=tuple(args.sizes),
         threads=tuple(args.threads),
         execute_max_n=args.execute_max_n,
         verify=not args.no_verify,
     )
-    result = EnergyPerformanceStudy(machine, config=config).run()
+    run = study.run(
+        RunOptions(parallel=args.parallel, trace=bool(args.trace))
+    )
+    result = run.result
+    fmt = get_format(args)
     for title, table in (
         ("Table II - average slowdown vs baseline", table2_slowdown(result)),
         ("Table III - average watts by thread count", table3_power(result)),
         ("Table IV - average energy performance", table4_ep(result)),
     ):
         print(title)
-        print(_emit(table, args.format))
+        print(emit(table, fmt))
         print()
     if args.figures:
         from .reporting import fig3_figure, fig4_figure, fig5_figure, fig6_figure, fig7_figure
@@ -92,20 +134,26 @@ def cmd_study(args) -> int:
         for builder in (fig3_figure, fig4_figure, fig5_figure, fig6_figure, fig7_figure):
             print(builder(result).render())
             print()
+    if run.traced and args.trace:
+        path = run.write_trace(args.trace, meta={"command": "repro study"})
+        print("phase summary:")
+        print(run.phase_summary().to_ascii())
+        print(f"wrote chrome://tracing file to {path}")
     return 0
 
 
 def cmd_choose(args) -> int:
-    machine = _machine_from_args(args)
-    config = StudyConfig(
+    from .api import Study
+
+    result = Study(
+        machine_from_args(args),
         sizes=(args.n,),
         threads=tuple(args.threads),
         execute_max_n=0,
         verify=False,
-    )
-    result = EnergyPerformanceStudy(machine, config=config).run()
+    ).run().result
     print(f"operating points for n={args.n} (pareto-optimal marked *):")
-    print(_emit(choice_table(result, args.n), args.format))
+    print(_emit(choice_table(result, args.n), get_format(args)))
     print()
     if args.cap is not None:
         pick = select_under_power_cap(result, args.n, args.cap, args.metric)
@@ -130,7 +178,7 @@ def cmd_crossover(args) -> int:
     table.add_row("crossover n (Eq. 9)", a.crossover_n)
     table.add_row("max feasible n", a.max_feasible_n)
     table.add_row("reachable", str(a.reachable))
-    print(_emit(table, args.format))
+    print(_emit(table, get_format(args)))
     return 0
 
 
@@ -143,7 +191,7 @@ def cmd_bounds(args) -> int:
         classical = communication_bound_words(args.n, args.procs, m, omega0=3.0)
         table.add_row(m, strassen.words, classical.words, strassen.binding_term)
     print(f"Eq. 8 bounds for n={args.n}, P={args.procs}:")
-    print(_emit(table, args.format))
+    print(_emit(table, get_format(args)))
     return 0
 
 
@@ -157,11 +205,12 @@ def cmd_sparse(args) -> int:
         pattern = uniform_random(args.n, args.density, seed=args.seed)
     else:
         pattern = power_law(args.n, avg_degree=args.degree, seed=args.seed)
-    result = SparseEPStudy(
-        machine, pattern, repeats=args.repeats, verify=not args.no_verify
-    ).run()
-    print(f"SpMV storage-scheme study: {args.pattern}, n={args.n}, nnz={pattern.nnz}")
-    print(_emit(result.summary_table(), args.format))
+    with _scoped_tracing(args.trace, "repro sparse"):
+        result = SparseEPStudy(
+            machine, pattern, repeats=args.repeats, verify=not args.no_verify
+        ).run()
+        print(f"SpMV storage-scheme study: {args.pattern}, n={args.n}, nnz={pattern.nnz}")
+        print(_emit(result.summary_table(), get_format(args)))
     return 0
 
 
@@ -181,22 +230,23 @@ def cmd_distributed(args) -> int:
         [Summa2D(cluster), Summa25D(cluster, c=4), CapsDistributed(cluster)],
         node_counts=tuple(args.nodes),
     )
-    result = study.run(args.n)
-    table = TextTable(
-        ["algorithm", "nodes", "time (s)", "comm %", "rank W", "net W"], ndigits=4
-    )
-    for alg in result.algorithm_names:
-        for nodes in args.nodes:
-            run = result.run_for(alg, nodes)
-            table.add_row(
-                result.display_names[alg],
-                nodes,
-                run.time_s,
-                100 * run.profile.comm_fraction,
-                run.rank_power_w,
-                run.planes_w[Plane.PSYS],
-            )
-    print(_emit(table, args.format))
+    with _scoped_tracing(args.trace, "repro distributed"):
+        result = study.run(args.n)
+        table = TextTable(
+            ["algorithm", "nodes", "time (s)", "comm %", "rank W", "net W"], ndigits=4
+        )
+        for alg in result.algorithm_names:
+            for nodes in args.nodes:
+                run = result.run_for(alg, nodes)
+                table.add_row(
+                    result.display_names[alg],
+                    nodes,
+                    run.time_s,
+                    100 * run.profile.comm_fraction,
+                    run.rank_power_w,
+                    run.planes_w[Plane.PSYS],
+                )
+        print(_emit(table, get_format(args)))
     return 0
 
 
@@ -251,10 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Communication Avoiding Power Scaling - reproduction toolkit",
     )
-    parser.add_argument(
-        "--format", choices=("ascii", "markdown", "csv"), default="ascii",
-        help="table output format",
-    )
+    add_format_arg(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("describe", help="print the simulated platform spec")
@@ -263,16 +310,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("study", help="run the EP study (Tables II-IV)")
     _add_machine_args(p)
+    add_format_arg(p)
+    add_trace_arg(p)
     p.add_argument("--sizes", type=int, nargs="+", default=[256, 512])
     p.add_argument("--threads", type=int, nargs="+", default=[1, 2, 3, 4])
     p.add_argument("--execute-max-n", type=int, default=512,
                    help="largest size to run real numerics for")
+    p.add_argument("--parallel", type=int, default=None, metavar="N",
+                   help="fan cells across N worker processes "
+                   "(deterministic; identical results to serial)")
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--figures", action="store_true", help="render ASCII figures too")
     p.set_defaults(func=cmd_study)
 
     p = sub.add_parser("choose", help="algorithm choice under a power cap")
     _add_machine_args(p)
+    add_format_arg(p)
     p.add_argument("--n", type=int, default=512)
     p.add_argument("--threads", type=int, nargs="+", default=[1, 2, 3, 4])
     p.add_argument("--cap", type=float, default=None, help="power cap in watts")
@@ -281,10 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("crossover", help="Eq. 9 crossover analysis")
     _add_machine_args(p)
+    add_format_arg(p)
     p.add_argument("--efficiency", type=float, default=0.92)
     p.set_defaults(func=cmd_crossover)
 
     p = sub.add_parser("bounds", help="Eq. 8 communication bounds")
+    add_format_arg(p)
     p.add_argument("--n", type=int, default=8192)
     p.add_argument("--procs", type=int, default=64)
     p.add_argument("--memory-words", type=float, nargs="+",
@@ -293,6 +348,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sparse", help="SpMV storage-scheme EP study")
     _add_machine_args(p)
+    add_format_arg(p)
+    add_trace_arg(p)
     p.add_argument("--pattern", choices=("banded", "random", "powerlaw"),
                    default="banded")
     p.add_argument("--n", type=int, default=512)
@@ -306,6 +363,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("distributed", help="distributed-memory EP study")
     _add_machine_args(p)
+    add_format_arg(p)
+    add_trace_arg(p)
     p.add_argument("--n", type=int, default=8192)
     p.add_argument("--nodes", type=int, nargs="+", default=[1, 4, 16, 64])
     p.set_defaults(func=cmd_distributed)

@@ -1,0 +1,121 @@
+"""Shared argparse fragments for ``repro`` subcommands and ``tools/``.
+
+Every command-line surface in the repo (the ``repro`` CLI, the bench
+harness, the profiler, the verify wrapper) builds its machine/format/
+trace options from these helpers, so flags spell and behave the same
+everywhere — one ``--format {ascii,markdown,csv}``, one ``--trace
+OUT.json``, one machine-argument group.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from pathlib import Path
+
+from .machine import generic_smp, haswell_e3_1225
+from .util.errors import ConfigurationError
+from .util.tables import TextTable
+from .util.units import GHZ, GiB
+
+__all__ = [
+    "FORMATS",
+    "add_format_arg",
+    "add_machine_args",
+    "add_trace_arg",
+    "check_trace_path",
+    "emit",
+    "get_format",
+    "machine_from_args",
+]
+
+#: Table output formats every surface accepts.
+FORMATS = ("ascii", "markdown", "csv")
+
+
+def add_format_arg(
+    parser: argparse.ArgumentParser, top_level: bool = False
+) -> None:
+    """Add ``--format``.
+
+    The main ``repro`` parser passes ``top_level=True`` and owns the
+    ``"ascii"`` default; subcommand parsers default to
+    ``argparse.SUPPRESS`` so re-specifying the flag after the
+    subcommand works without the subparser's default clobbering a value
+    given before it (``repro --format csv study`` and
+    ``repro study --format csv`` are both honoured).
+    """
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="ascii" if top_level else argparse.SUPPRESS,
+        help="table output format",
+    )
+
+
+def get_format(args: argparse.Namespace) -> str:
+    """The resolved ``--format`` value (``"ascii"`` when never added)."""
+    return getattr(args, "format", "ascii")
+
+
+def add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    """Add ``--trace OUT.json`` (Chrome trace-event export)."""
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="record phase spans and write a chrome://tracing / Perfetto "
+        "JSON file (view with tools/trace.py)",
+    )
+
+
+def check_trace_path(path: str | os.PathLike | None) -> None:
+    """Fail fast on an unwritable ``--trace`` destination.
+
+    Called before a study runs so a typo'd output directory surfaces
+    as a clean ``error:`` line immediately, not as a traceback after
+    minutes of simulation.
+    """
+    if path is None:
+        return
+    parent = Path(path).parent
+    if not parent.is_dir():
+        raise ConfigurationError(
+            f"--trace: directory does not exist: {parent}"
+        )
+    if not os.access(parent, os.W_OK):
+        raise ConfigurationError(f"--trace: directory not writable: {parent}")
+
+
+def add_machine_args(parser: argparse.ArgumentParser) -> None:
+    """The simulated-platform argument group (shared by all surfaces)."""
+    g = parser.add_argument_group("machine")
+    g.add_argument("--cores", type=int, default=None, help="core count (default: paper platform)")
+    g.add_argument("--channels", type=int, default=None, help="DRAM channels")
+    g.add_argument("--frequency-ghz", type=float, default=None, help="core clock in GHz")
+    g.add_argument("--memory-gib", type=int, default=None, help="DRAM capacity in GiB")
+
+
+def machine_from_args(args: argparse.Namespace):
+    """The paper's Haswell E3-1225 unless any machine flag was given."""
+    cores = getattr(args, "cores", None)
+    channels = getattr(args, "channels", None)
+    frequency_ghz = getattr(args, "frequency_ghz", None)
+    memory_gib = getattr(args, "memory_gib", None)
+    if cores is None and channels is None and frequency_ghz is None:
+        return haswell_e3_1225()
+    return generic_smp(
+        cores=cores or 4,
+        frequency_hz=(frequency_ghz or 3.2) * GHZ,
+        dram_channels=channels or 1,
+        dram_capacity_bytes=(memory_gib or 4) * GiB,
+    )
+
+
+def emit(table: TextTable, fmt: str) -> str:
+    """Render *table* in the ``--format`` the user picked."""
+    if fmt == "markdown":
+        return table.to_markdown()
+    if fmt == "csv":
+        return table.to_csv()
+    return table.to_ascii()

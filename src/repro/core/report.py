@@ -96,7 +96,7 @@ def table3_power(study: StudyResult) -> TextTable:
         table.add_row(
             study.display_names[alg],
             *[by_threads[p] for p in threads],
-            study.avg_power(alg),
+            study.avg_power_w(alg),
         )
     return table
 

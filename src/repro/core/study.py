@@ -23,9 +23,12 @@ from typing import Iterable, Mapping, Sequence
 from ..algorithms.base import MatmulAlgorithm
 from ..algorithms.registry import paper_algorithms
 from ..machine.specs import MachineSpec
+from ..observability import trace
+from ..observability.metrics import registry as metrics_registry
 from ..power.planes import Plane
 from ..sim.engine import Engine
 from ..sim.measurement import RunMeasurement
+from ..util.deprecation import warn_deprecated
 from ..util.errors import ConfigurationError, StudyCellError, ValidationError
 from ..util.validation import require_nonempty, require_positive
 from .ep import EPConvention, EPMeasurement
@@ -104,7 +107,13 @@ class StudyResult:
     ) -> float:
         """Average watts on *plane* (default: the study's plane, the
         paper's PACKAGE; pass ``Plane.PP0`` for the cores-only plane the
-        paper also records)."""
+        paper also records).
+
+        Naming convention (normalized across the repo): accessors that
+        return watts carry a ``_w`` suffix — ``power_w`` /
+        ``avg_power_w`` / ``peak_power_w`` / ``min_power_w`` here, and
+        ``RunMeasurement.avg_power_w`` / ``peak_power_w`` per run.
+        """
         return self.measurement(alg, n, threads).avg_power_w(
             plane or self.config.plane
         )
@@ -154,10 +163,16 @@ class StudyResult:
             for p in self.config.threads
         }
 
-    def avg_power(self, alg: str) -> float:
-        """Table III 'Average' column."""
+    def avg_power_w(self, alg: str) -> float:
+        """Table III 'Average' column (watts; canonical ``_w`` name)."""
         by_threads = self.avg_power_by_threads(alg)
         return sum(by_threads.values()) / len(by_threads)
+
+    def avg_power(self, alg: str) -> float:
+        """Deprecated alias of :meth:`avg_power_w` (kept so existing
+        callers don't break; see CONTRIBUTING.md's deprecation policy)."""
+        warn_deprecated("StudyResult.avg_power", "StudyResult.avg_power_w")
+        return self.avg_power_w(alg)
 
     def power_curve(self, alg: str, n: int) -> list[tuple[int, float]]:
         """Figs. 4-6: watts vs threads for one size."""
@@ -216,7 +231,17 @@ class EnergyPerformanceStudy:
         algorithms: Sequence[MatmulAlgorithm] | None = None,
         config: StudyConfig = StudyConfig(),
         engine: Engine | None = None,
+        *,
+        _engine: Engine | None = None,
     ):
+        if engine is not None:
+            # Kept working behind a shim: the stable way to pick an
+            # event kernel is repro.api.RunOptions(engine="fast").
+            warn_deprecated(
+                "EnergyPerformanceStudy(engine=...)",
+                "repro.api.Study.run(RunOptions(engine=...))",
+            )
+        engine = engine if engine is not None else _engine
         self.machine = machine
         self.algorithms = list(algorithms) if algorithms is not None else paper_algorithms(machine)
         if not self.algorithms:
@@ -247,7 +272,23 @@ class EnergyPerformanceStudy:
             cell's plane energies into its own MSR afterwards, again in
             serial order, so a PAPI/RAPL reader wrapped around
             :meth:`run` observes the same counter stream either way.
+
+        .. deprecated::
+            ``run(parallel=N)`` is kept behind a shim; the stable entry
+            point is ``repro.api.Study.run(RunOptions(parallel=N))``.
         """
+        if parallel is not None:
+            warn_deprecated(
+                "EnergyPerformanceStudy.run(parallel=...)",
+                "repro.api.Study.run(RunOptions(parallel=...))",
+            )
+        return self._run(parallel)
+
+    def _run(self, parallel: int | None = None) -> StudyResult:
+        """Internal entry point (no deprecation shim; used by
+        :mod:`repro.api`).  Instrumented: the whole matrix runs under a
+        ``study.run`` span, each cell under a ``cell`` span (serial
+        in-process; parallel via deterministic worker-trace merge)."""
         result = StudyResult(
             machine=self.machine,
             config=self.config,
@@ -260,11 +301,19 @@ class EnergyPerformanceStudy:
             for n in self.config.sizes
             for p in self.config.threads
         ]
-        if parallel is not None and parallel > 1 and len(cells) > 1:
-            self._run_parallel(result, cells, parallel)
-        else:
-            for alg, n, p in cells:
-                result.runs[(alg.name, n, p)] = self._run_one(alg, n, p)
+        with trace.span(
+            "study.run",
+            sizes=list(self.config.sizes),
+            threads=list(self.config.threads),
+            algorithms=[a.name for a in self.algorithms],
+            cells=len(cells),
+            parallel=int(parallel or 0),
+        ):
+            if parallel is not None and parallel > 1 and len(cells) > 1:
+                self._run_parallel(result, cells, parallel)
+            else:
+                for alg, n, p in cells:
+                    result.runs[(alg.name, n, p)] = self._run_one(alg, n, p)
         return result
 
     def _run_one(self, alg: MatmulAlgorithm, n: int, threads: int) -> RunMeasurement:
@@ -311,7 +360,16 @@ class EnergyPerformanceStudy:
         cells: list[tuple[MatmulAlgorithm, int, int]],
         workers: int,
     ) -> None:
-        """Fan *cells* over a process pool; merge deterministically."""
+        """Fan *cells* over a process pool; merge deterministically.
+
+        When tracing is enabled in the parent, each worker records its
+        cell under a fresh in-process tracer and ships the exported
+        spans (plus its per-cell metric deltas) back alongside the
+        measurement.  The parent attaches worker traces in submission
+        (= serial) order — never completion order — so the merged trace
+        structure and metric totals are identical run to run, the same
+        guarantee the measurements already have.
+        """
         from concurrent.futures import ProcessPoolExecutor
 
         # Workers get an MSR-less copy of the engine: MSR deposits are
@@ -319,41 +377,59 @@ class EnergyPerformanceStudy:
         # the serial run, and emulated MSR files need not be picklable.
         worker_engine = copy.copy(self.engine)
         worker_engine.msr = None
-        payloads = [
-            (
-                worker_engine,
-                alg,
-                n,
-                p,
-                self.config.seed,
-                n <= self.config.execute_max_n,
-                self.config.verify,
-                self._prebuild(alg, n, p),
-            )
-            for alg, n, p in cells
-        ]
+        traced = trace.enabled()
+        with trace.span("prebuild", cells=len(cells)):
+            payloads = [
+                (
+                    worker_engine,
+                    alg,
+                    n,
+                    p,
+                    self.config.seed,
+                    n <= self.config.execute_max_n,
+                    self.config.verify,
+                    self._prebuild(alg, n, p),
+                )
+                for alg, n, p in cells
+            ]
         with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
-            futures = [pool.submit(_run_cell, payload) for payload in payloads]
+            futures = [
+                pool.submit(_run_cell_worker, payload, traced)
+                for payload in payloads
+            ]
             # Merge in submission (= serial) order; a slow early cell
             # simply makes later .result() calls return instantly.  A
             # crashing worker is re-raised with the failing cell's
             # coordinates instead of a bare pool traceback.
-            measurements = []
+            outcomes = []
             for (alg, n, p), future in zip(cells, futures):
                 try:
-                    measurements.append(future.result())
+                    outcomes.append(future.result())
                 except StudyCellError:
                     raise
                 except Exception as exc:
                     raise StudyCellError(alg.name, n, p, exc) from exc
+        tracer = trace.active()
         msr = getattr(self.engine, "msr", None)
-        for (alg, n, p), measurement in zip(cells, measurements):
-            result.runs[(alg.name, n, p)] = measurement
-            if msr is not None:
-                energy = measurement.energy
-                msr.deposit_energy(Plane.PACKAGE, energy.package)
-                msr.deposit_energy(Plane.PP0, energy.pp0)
-                msr.deposit_energy(Plane.DRAM, energy.dram)
+        with trace.span("merge", cells=len(cells)):
+            for (alg, n, p), (measurement, spans, metric_delta) in zip(
+                cells, outcomes
+            ):
+                result.runs[(alg.name, n, p)] = measurement
+                if metric_delta:
+                    metrics_registry().absorb(metric_delta)
+                if msr is not None:
+                    energy = measurement.energy
+                    msr.deposit_energy(Plane.PACKAGE, energy.package)
+                    msr.deposit_energy(Plane.PP0, energy.pp0)
+                    msr.deposit_energy(Plane.DRAM, energy.dram)
+        # Attach worker spans after the merge span closes so cells sit
+        # at depth 1 under study.run, exactly like the serial path (the
+        # default phase summary aggregates at max_depth=1).
+        if tracer is not None:
+            for _, spans, _ in outcomes:
+                if spans:
+                    tracer.attach(spans)
 
 
 def _run_cell(payload) -> RunMeasurement:
@@ -362,23 +438,60 @@ def _run_cell(payload) -> RunMeasurement:
     Module-level so the parallel driver can send it to worker
     processes; the serial path calls it in-process with the study's
     own engine (MSR deposits then happen inside ``engine.run``).
+
+    When tracing is active (serial: the study's tracer; parallel: the
+    worker-local tracer installed by :func:`_run_cell_worker`), the
+    whole cell runs under a ``cell`` span whose attributes carry the
+    cell coordinates and the per-cell metric deltas (cache hits/misses,
+    tasks lowered, kernel sweeps, ...); the span itself records the
+    cell's wall and CPU time.
     """
     engine, alg, n, threads, seed, execute, verify, prebuilt = payload
-    if prebuilt is not None:
-        build = prebuilt  # parent-lowered cost-only arena (see _prebuild)
-    else:
-        build = alg.build_cached(n, threads, seed=seed, execute=execute)
-    measurement = engine.run(
-        build.graph,
-        threads,
-        execute=execute,
-        label=f"{alg.name}[n={n},p={threads}]",
-    )
-    if execute and verify:
-        report = build.verify()
-        if not report.ok:
-            raise ValidationError(
-                f"{alg.display_name} n={n} p={threads}: numerical error "
-                f"{report.abs_error:.3e} exceeds bound {report.bound:.3e}"
+    with trace.span(
+        "cell", alg=alg.name, n=n, threads=threads, execute=bool(execute)
+    ) as cell_span:
+        snap = metrics_registry().snapshot() if trace.enabled() else None
+        if prebuilt is not None:
+            build = prebuilt  # parent-lowered cost-only arena (see _prebuild)
+        else:
+            with trace.span("build", alg=alg.name, n=n, threads=threads):
+                build = alg.build_cached(n, threads, seed=seed, execute=execute)
+        with trace.span("simulate", alg=alg.name, n=n, threads=threads):
+            measurement = engine.run(
+                build.graph,
+                threads,
+                execute=execute,
+                label=f"{alg.name}[n={n},p={threads}]",
+            )
+        if execute and verify:
+            with trace.span("verify", alg=alg.name, n=n):
+                report = build.verify()
+            if not report.ok:
+                raise ValidationError(
+                    f"{alg.display_name} n={n} p={threads}: numerical error "
+                    f"{report.abs_error:.3e} exceeds bound {report.bound:.3e}"
+                )
+        if snap is not None:
+            cell_span.set(
+                sim_elapsed_s=measurement.elapsed_s,
+                metrics=metrics_registry().delta_since(snap),
             )
     return measurement
+
+
+def _run_cell_worker(payload, traced: bool):
+    """Worker-pool wrapper around :func:`_run_cell`.
+
+    Returns ``(measurement, spans, metric_delta)``: when the parent is
+    tracing, the cell runs under a fresh worker-local tracer (never the
+    tracer a ``fork`` start method may have copied in) and ships the
+    exported spans and typed metric deltas back for the deterministic
+    parent-side merge; otherwise both extras are ``None``.
+    """
+    if not traced:
+        return _run_cell(payload), None, None
+    reg = metrics_registry()
+    snap = reg.snapshot()
+    with trace.tracing() as tracer:
+        measurement = _run_cell(payload)
+    return measurement, tracer.export(), reg.export_delta(snap)

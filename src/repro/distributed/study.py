@@ -16,6 +16,7 @@ from typing import Sequence
 
 from ..core.ep import ep_total_planes
 from ..core.scaling import ScalingPoint, scaling_series
+from ..observability import trace
 from ..power.planes import Plane
 from ..util.errors import ValidationError
 from ..util.validation import require_nonempty
@@ -118,9 +119,18 @@ class DistributedEPStudy:
     def run(self, n: int) -> "DistributedStudyResult":
         """Strong scaling: fixed size *n* over the node counts."""
         runs = {}
-        for alg in self.algorithms:
-            for nodes in self.node_counts:
-                runs[(alg.name, nodes)] = self.run_one(alg, n, nodes)
+        with trace.span(
+            "distributed.run",
+            n=n,
+            nodes=list(self.node_counts),
+            algorithms=[a.name for a in self.algorithms],
+        ):
+            for alg in self.algorithms:
+                for nodes in self.node_counts:
+                    with trace.span(
+                        "cell", alg=alg.name, n=n, nodes=nodes
+                    ):
+                        runs[(alg.name, nodes)] = self.run_one(alg, n, nodes)
         return DistributedStudyResult(
             n=n,
             node_counts=list(self.node_counts),

@@ -1,0 +1,54 @@
+"""Observability: structured tracing and metrics for the simulator.
+
+Zero-dependency subsystem with three layers:
+
+* :mod:`repro.observability.trace` — nestable wall/CPU spans with a
+  one-``is None``-check disabled path (``trace.span("lower", n=...)``);
+* :mod:`repro.observability.metrics` — typed counters/gauges in a
+  process-wide registry, snapshotted per study cell and merged across
+  worker processes;
+* :mod:`repro.observability.export` — Chrome ``trace_event`` JSON
+  (``chrome://tracing`` / Perfetto), flat metrics JSON, and the ASCII
+  phase-summary table.
+
+See DESIGN.md §10 for the architecture and the instrumentation map.
+"""
+
+from . import trace
+from .export import (
+    metrics_table,
+    phase_table,
+    read_trace_json,
+    spans_to_chrome_events,
+    trace_payload,
+    validate_chrome_trace,
+    write_trace_json,
+)
+from .metrics import Counter, Gauge, MetricsRegistry, counter, gauge, registry
+from .trace import NULL_SPAN, Span, Tracer, active, enabled, install, span, tracing, uninstall
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "active",
+    "counter",
+    "enabled",
+    "gauge",
+    "install",
+    "metrics_table",
+    "phase_table",
+    "read_trace_json",
+    "registry",
+    "span",
+    "spans_to_chrome_events",
+    "trace",
+    "trace_payload",
+    "tracing",
+    "uninstall",
+    "validate_chrome_trace",
+    "write_trace_json",
+]

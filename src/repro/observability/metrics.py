@@ -1,0 +1,214 @@
+"""Typed counters and gauges, registered at instrumentation sites.
+
+Counters are monotonic totals (cache hits, tasks lowered, kernel event
+sweeps, emulated RAPL reads); gauges record a last-written level plus
+its high-water mark (arena resident bytes).  Metrics live in a
+process-wide :class:`MetricsRegistry` and are *always on* — an
+increment is one float add on a long-lived object, cheap enough that no
+enable/disable guard is needed (spans, which allocate, are the gated
+part; see :mod:`repro.observability.trace`).
+
+The study driver snapshots the registry around each cell and attaches
+the delta to the cell's span; worker processes export their per-cell
+deltas and the parent absorbs them in serial cell order, so metric
+totals match the serial run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..util.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "unit", "description", "value")
+
+    def __init__(self, name: str, unit: str = "", description: str = ""):
+        self.name = name
+        self.unit = unit
+        self.description = description
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (add {amount})"
+            )
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """A last-written level with a high-water mark."""
+
+    kind = "gauge"
+    __slots__ = ("name", "unit", "description", "value", "max_value")
+
+    def __init__(self, name: str, unit: str = "", description: str = ""):
+        self.name = name
+        self.unit = unit
+        self.description = description
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if self.value > self.max_value:
+            self.max_value = self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.max_value = 0.0
+
+
+class MetricsRegistry:
+    """Name → metric map with get-or-create registration.
+
+    Re-registering an existing name returns the same object; asking for
+    it with a different type is a configuration error (typed metrics
+    are the point).
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge] = {}
+
+    # ---- registration --------------------------------------------------
+
+    def counter(self, name: str, unit: str = "", description: str = "") -> Counter:
+        return self._register(Counter, name, unit, description)
+
+    def gauge(self, name: str, unit: str = "", description: str = "") -> Gauge:
+        return self._register(Gauge, name, unit, description)
+
+    def _register(self, cls, name: str, unit: str, description: str):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"requested {cls.kind}"
+                )
+            return existing
+        metric = cls(name, unit, description)
+        self._metrics[name] = metric
+        return metric
+
+    # ---- access --------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator["Counter | Gauge"]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> "Counter | Gauge | None":
+        return self._metrics.get(name)
+
+    # ---- snapshots & merge --------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Current value of every metric, by name."""
+        return {name: m.value for name, m in self._metrics.items()}
+
+    def delta_since(self, before: dict[str, float]) -> dict[str, float]:
+        """Per-cell attribution: counter increments since *before*
+        (omitting zero deltas), and the current level of every gauge
+        written since the snapshot was taken."""
+        out: dict[str, float] = {}
+        for name, m in self._metrics.items():
+            if m.kind == "counter":
+                d = m.value - before.get(name, 0.0)
+                if d:
+                    out[name] = d
+            else:
+                if name not in before or m.value != before[name]:
+                    out[name] = m.value
+        return out
+
+    def export(self) -> dict[str, dict]:
+        """Full typed dump (flat metrics JSON / worker payload form)."""
+        out: dict[str, dict] = {}
+        for name, m in sorted(self._metrics.items()):
+            entry = {
+                "kind": m.kind,
+                "unit": m.unit,
+                "description": m.description,
+                "value": m.value,
+            }
+            if isinstance(m, Gauge):
+                entry["max"] = m.max_value
+            out[name] = entry
+        return out
+
+    def export_delta(self, before: dict[str, float]) -> dict[str, dict]:
+        """Typed delta (what a worker ships back for one cell)."""
+        delta = self.delta_since(before)
+        out: dict[str, dict] = {}
+        for name, value in delta.items():
+            m = self._metrics[name]
+            out[name] = {
+                "kind": m.kind,
+                "unit": m.unit,
+                "description": m.description,
+                "value": value,
+            }
+        return out
+
+    def absorb(self, delta: dict[str, dict]) -> None:
+        """Merge a worker's typed delta: counters add, gauges set.
+
+        Metrics the parent has not registered yet are created with the
+        worker's type/unit/description, so parent totals are complete
+        even for sites only the workers exercised.
+        """
+        for name, entry in delta.items():
+            if entry["kind"] == "counter":
+                self.counter(
+                    name, entry.get("unit", ""), entry.get("description", "")
+                ).add(entry["value"])
+            else:
+                self.gauge(
+                    name, entry.get("unit", ""), entry.get("description", "")
+                ).set(entry["value"])
+
+    def reset(self) -> None:
+        """Zero every metric (registrations are kept)."""
+        for m in self._metrics.values():
+            m.reset()
+
+
+#: Process-wide registry (one per worker process; merged by the parent).
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry`."""
+    return _REGISTRY
+
+
+def counter(name: str, unit: str = "", description: str = "") -> Counter:
+    """Register (or fetch) a counter on the process-wide registry."""
+    return _REGISTRY.counter(name, unit, description)
+
+
+def gauge(name: str, unit: str = "", description: str = "") -> Gauge:
+    """Register (or fetch) a gauge on the process-wide registry."""
+    return _REGISTRY.gauge(name, unit, description)

@@ -1,0 +1,317 @@
+"""Nestable wall/CPU-time spans with a zero-cost disabled path.
+
+The paper's evaluation attributes energy and time to *phases* (build →
+lower → simulate → reduce, Eqs. 3–6 are all per-phase quantities); this
+module is the substrate that records those phases in the reproduction.
+Instrumentation sites call :func:`span`::
+
+    from repro.observability import trace
+
+    with trace.span("lower", alg="strassen", n=1024):
+        ...
+
+When no tracer is installed (the default), :func:`span` returns a
+shared no-op handle after a single global ``is None`` check — the
+guard is the entire disabled cost, which is what lets hot paths stay
+instrumented permanently (``tools/bench.py`` asserts the disabled
+overhead stays ≤ 2% on the gated bench sections).
+
+When a :class:`Tracer` is installed (see :func:`tracing`), spans record
+wall time (``perf_counter``), CPU time (``process_time``), nesting
+depth, and arbitrary key/value attributes.  Span lists serialize to
+plain dicts so worker processes can ship their sub-traces back to the
+parent, which merges them **deterministically** — in submission order,
+placed end-to-end on the timeline — via :meth:`Tracer.attach`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "tracing",
+    "install",
+    "uninstall",
+    "active",
+    "enabled",
+    "NULL_SPAN",
+]
+
+
+@dataclass
+class Span:
+    """One recorded phase: a named, attributed [t_start, t_end) window.
+
+    ``parent`` is an index into the owning tracer's span list (``None``
+    for roots); ``depth`` is the nesting level at creation.  ``attrs``
+    holds instrumentation-site key/values (problem size, algorithm,
+    per-cell metric deltas, ...) and must stay JSON-serializable.
+    """
+
+    name: str
+    t_start: float
+    t_end: float | None = None
+    cpu_start: float = 0.0
+    cpu_end: float | None = None
+    depth: int = 0
+    parent: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.t_end is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Wall seconds (0.0 while still open)."""
+        return 0.0 if self.t_end is None else self.t_end - self.t_start
+
+    @property
+    def cpu_s(self) -> float:
+        """CPU seconds (0.0 while still open)."""
+        return 0.0 if self.cpu_end is None else self.cpu_end - self.cpu_start
+
+    def to_dict(self) -> dict:
+        """Portable form (JSON-able; used for worker → parent merge)."""
+        return {
+            "name": self.name,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "cpu_start": self.cpu_start,
+            "cpu_end": self.cpu_end,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            t_start=data["t_start"],
+            t_end=data.get("t_end"),
+            cpu_start=data.get("cpu_start", 0.0),
+            cpu_end=data.get("cpu_end"),
+            depth=data.get("depth", 0),
+            parent=data.get("parent"),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_idx")
+
+    def __init__(self, tracer: "Tracer", idx: int):
+        self._tracer = tracer
+        self._idx = idx
+
+    def set(self, **attrs) -> "_SpanHandle":
+        """Attach attributes to the span after creation."""
+        self._tracer.spans[self._idx].attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close(self._idx)
+        return False
+
+
+class _NullSpan:
+    """The disabled-path handle: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: Shared no-op handle; what :func:`span` returns while tracing is off.
+NULL_SPAN = _NullSpan()
+
+#: The process-wide active tracer (None = tracing disabled).
+_ACTIVE: "Tracer | None" = None
+
+
+class Tracer:
+    """Records a tree of :class:`Span`\\ s.
+
+    Not thread-safe by design: the simulator is single-threaded per
+    process, and worker processes get their own tracer whose spans are
+    merged back deterministically (see :meth:`attach`).
+    """
+
+    def __init__(
+        self,
+        wall_clock: Callable[[], float] = time.perf_counter,
+        cpu_clock: Callable[[], float] = time.process_time,
+    ):
+        self.spans: list[Span] = []
+        self._stack: list[int] = []
+        self._wall = wall_clock
+        self._cpu = cpu_clock
+        self._attach_cursor = 0.0
+
+    # ---- recording -----------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        """Open a nested span; close it by exiting the returned context."""
+        idx = len(self.spans)
+        self.spans.append(
+            Span(
+                name=name,
+                t_start=self._wall(),
+                cpu_start=self._cpu(),
+                depth=len(self._stack),
+                parent=self._stack[-1] if self._stack else None,
+                attrs=attrs,
+            )
+        )
+        self._stack.append(idx)
+        return _SpanHandle(self, idx)
+
+    def _close(self, idx: int) -> None:
+        sp = self.spans[idx]
+        sp.t_end = self._wall()
+        sp.cpu_end = self._cpu()
+        # Robust unwinding: an exception can skip inner closes; drop
+        # any still-open descendants so nesting depth stays consistent.
+        while self._stack and self._stack[-1] != idx:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    # ---- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    @property
+    def open_count(self) -> int:
+        return len(self._stack)
+
+    def finished(self) -> list[Span]:
+        return [sp for sp in self.spans if sp.finished]
+
+    def roots(self) -> list[Span]:
+        return [sp for sp in self.spans if sp.parent is None]
+
+    def find(self, name: str) -> list[Span]:
+        return [sp for sp in self.spans if sp.name == name]
+
+    def children(self, parent: Span) -> Iterator[Span]:
+        pidx = self.spans.index(parent)
+        return (sp for sp in self.spans if sp.parent == pidx)
+
+    # ---- serialization & merge ----------------------------------------
+
+    def export(self) -> list[dict]:
+        """All spans as portable dicts (worker → parent payload)."""
+        return [sp.to_dict() for sp in self.spans]
+
+    def attach(self, spans: list[dict]) -> None:
+        """Merge an exported span list under the currently open span.
+
+        The merge is deterministic: structure and order depend only on
+        the call order (the study driver attaches worker traces in
+        serial cell order, never completion order).  Timestamps are
+        rebased so attached groups sit end-to-end after any previously
+        attached group — durations and relative nesting are preserved,
+        and slices never overlap on the exported timeline even though
+        the workers genuinely ran concurrently.
+        """
+        if not spans:
+            return
+        base = min(s["t_start"] for s in spans)
+        at = max(self._wall(), self._attach_cursor)
+        parent = self._stack[-1] if self._stack else None
+        pdepth = len(self._stack)
+        offset = len(self.spans)
+        max_end = base
+        for s in spans:
+            sp = Span.from_dict(s)
+            sp.t_start = at + (s["t_start"] - base)
+            if s.get("t_end") is not None:
+                sp.t_end = at + (s["t_end"] - base)
+                max_end = max(max_end, s["t_end"])
+            sp.depth = pdepth + s.get("depth", 0)
+            sp.parent = (
+                offset + s["parent"] if s.get("parent") is not None else parent
+            )
+            self.spans.append(sp)
+        self._attach_cursor = at + (max_end - base)
+
+
+# ---- module-level API (the instrumentation-site surface) ---------------
+
+
+def span(name: str, **attrs):
+    """Open a span on the active tracer, or return the no-op handle.
+
+    This is the only call instrumented code makes; the disabled path is
+    one global load and an ``is None`` test.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def enabled() -> bool:
+    """True when a tracer is installed."""
+    return _ACTIVE is not None
+
+
+def active() -> Tracer | None:
+    """The installed tracer, if any."""
+    return _ACTIVE
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Make *tracer* the process-wide active tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
+
+
+def uninstall() -> None:
+    """Disable tracing (subsequent :func:`span` calls are no-ops)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+class tracing:
+    """``with tracing() as tracer: ...`` — scoped enable/disable.
+
+    Restores the previously active tracer (usually ``None``) on exit,
+    so nested scopes and test isolation both behave.
+    """
+
+    def __init__(self, tracer: Tracer | None = None):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._prev: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        global _ACTIVE
+        self._prev = _ACTIVE
+        _ACTIVE = self.tracer
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _ACTIVE
+        _ACTIVE = self._prev
+        return False

@@ -19,8 +19,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..observability.metrics import counter
 from ..util.errors import MeasurementError, ValidationError
 from .planes import Plane
+
+#: Emulated ``rdmsr`` calls — the simulated analogue of the paper's
+#: RAPL polling rate.
+_RAPL_READS = counter(
+    "rapl.reads", description="emulated MSR register reads (rdmsr)"
+)
 
 __all__ = [
     "MSR_RAPL_POWER_UNIT",
@@ -87,6 +94,7 @@ class MsrFile:
         as on real hardware); energy-status registers return the 32-bit
         wrapped counter.
         """
+        _RAPL_READS.add()
         if address == MSR_RAPL_POWER_UNIT:
             return (self.energy_unit_exponent & 0x1F) << 8
         if address not in self._counters:

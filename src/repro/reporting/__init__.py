@@ -23,6 +23,11 @@ from .figures import (
 from .gantt import render_gantt
 from .tracefile import schedule_to_trace_events, write_chrome_trace
 
+# Observability phase/metric tables render through the same TextTable
+# machinery as the paper tables; surfaced here so reporting is the one
+# place callers fetch tabular views from.
+from ..observability.export import metrics_table, phase_table
+
 __all__ = [
     "AsciiChart",
     "Figure",
@@ -35,6 +40,8 @@ __all__ = [
     "fig6_figure",
     "fig7_figure",
     "load_study_json",
+    "metrics_table",
+    "phase_table",
     "render_gantt",
     "schedule_to_trace_events",
     "study_to_dict",

@@ -56,7 +56,7 @@ def study_to_dict(study: StudyResult) -> dict:
             if alg != study.config.baseline
         },
         "table3_avg_power_w": {
-            alg: study.avg_power(alg) for alg in study.algorithm_names
+            alg: study.avg_power_w(alg) for alg in study.algorithm_names
         },
         "table4_avg_ep": {alg: study.avg_ep(alg) for alg in study.algorithm_names},
     }

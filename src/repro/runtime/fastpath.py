@@ -72,11 +72,19 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..observability.metrics import counter
 from ..util.errors import SchedulingError
 from .arena import TaskArena
 from .scheduler import Schedule, TaskRecord, _EPS
 from .stats import RuntimeStats
 from .timeline import CoreTimeline
+
+#: Contention sweeps performed by the vectorized kernel.  Tallied once
+#: per run from ``len(intervals)`` — never inside the hot loop.
+_SWEEPS = counter(
+    "engine.sweeps",
+    description="contention intervals swept by the vectorized event kernel",
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .scheduler import Scheduler
@@ -1065,6 +1073,7 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
     timelines = [
         CoreTimeline(core, busy_of[core], t) for core in range(threads)
     ]
+    _SWEEPS.add(len(intervals))
     stats = RuntimeStats.from_run(
         makespan=t,
         timelines=timelines,

@@ -32,11 +32,22 @@ from dataclasses import dataclass
 from typing import Callable, Literal, Sequence
 
 from ..machine.specs import MachineSpec
+from ..observability import trace
+from ..observability.metrics import counter
 from ..util.errors import ConfigurationError, SchedulingError
 from .cost import TaskCost
 from .task import Task, TaskGraph
 from .timeline import CoreTimeline
 from .stats import RuntimeStats
+
+#: Contention sweeps performed by the reference event kernel.  The
+#: fast kernel's twin lives in ``repro.runtime.fastpath``; both tally
+#: ``len(schedule.intervals)`` *after* their hot loops, so the counter
+#: costs nothing per event.
+_REF_EVENTS = counter(
+    "engine.events",
+    description="contention intervals swept by the reference event kernel",
+)
 
 __all__ = [
     "ActivityInterval",
@@ -342,13 +353,21 @@ class Scheduler:
                 f"compute closures); lower with execute=True to run "
                 f"real numerics"
             )
-        if self.engine == "fast":
-            from .fastpath import run_fast
+        with trace.span(
+            "schedule",
+            graph=graph.name,
+            tasks=len(graph),
+            threads=self.threads,
+            engine=self.engine,
+            policy=self.policy,
+        ):
+            if self.engine == "fast":
+                from .fastpath import run_fast
 
-            return run_fast(self, graph)
-        if is_arena:
-            graph = graph.to_graph()
-        return self._run_reference(graph)
+                return run_fast(self, graph)
+            if is_arena:
+                graph = graph.to_graph()
+            return self._run_reference(graph)
 
     def _run_reference(self, graph: TaskGraph) -> Schedule:
         """The original per-event scalar loop — the differential oracle
@@ -573,6 +592,7 @@ class Scheduler:
         for tl in timelines:
             tl.close(t)
 
+        _REF_EVENTS.add(len(intervals))
         stats = RuntimeStats.from_run(
             makespan=t,
             timelines=timelines,

@@ -16,6 +16,9 @@ import numpy as np
 
 from ..machine.energy import Activity, PlaneEnergy
 from ..machine.specs import MachineSpec
+
+# Aliased: ``measure`` has a local ``trace`` (the PowerTrace).
+from ..observability import trace as obtrace
 from ..power.msr import MsrFile
 from ..power.planes import Plane
 from ..power.sampling import PowerSegment, PowerTrace
@@ -86,6 +89,12 @@ class Engine:
 
     def measure(self, schedule: Schedule, label: str) -> RunMeasurement:
         """Convert a finished schedule into a measurement."""
+        with obtrace.span(
+            "measure", label=label, threads=schedule.threads
+        ):
+            return self._measure(schedule, label)
+
+    def _measure(self, schedule: Schedule, label: str) -> RunMeasurement:
         dvfs = self.machine.dvfs_factor
         model = self.machine.energy
 

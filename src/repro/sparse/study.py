@@ -15,6 +15,7 @@ from typing import Sequence
 from ..core.ep import EPMeasurement
 from ..core.scaling import ScalingPoint, scaling_series
 from ..machine.specs import MachineSpec
+from ..observability import trace
 from ..power.planes import Plane
 from ..sim.engine import Engine
 from ..sim.measurement import RunMeasurement
@@ -134,6 +135,16 @@ class SparseEPStudy:
         self.k = k
 
     def run(self) -> SparseStudyResult:
+        with trace.span(
+            "sparse.run",
+            kernel=self.kernel,
+            formats=list(self.formats),
+            threads=list(self.threads),
+            nnz=self.pattern.nnz,
+        ):
+            return self._run()
+
+    def _run(self) -> SparseStudyResult:
         matrices = {
             fmt: convert(self.pattern, fmt, self.block_size) for fmt in self.formats
         }
@@ -147,23 +158,26 @@ class SparseEPStudy:
         )
         for fmt, matrix in matrices.items():
             for p in self.threads:
-                if self.kernel == "spmm":
-                    from .spmm import build_spmm_graph
+                with trace.span(
+                    "cell", fmt=fmt, threads=p, kernel=self.kernel
+                ):
+                    if self.kernel == "spmm":
+                        from .spmm import build_spmm_graph
 
-                    build = build_spmm_graph(
-                        matrix, self.machine, p, k=self.k,
-                        repeats=self.repeats, execute=self.verify,
+                        build = build_spmm_graph(
+                            matrix, self.machine, p, k=self.k,
+                            repeats=self.repeats, execute=self.verify,
+                        )
+                    else:
+                        build = build_spmv_graph(
+                            matrix, self.machine, p,
+                            repeats=self.repeats, execute=self.verify,
+                        )
+                    meas = self.engine.run(
+                        build.graph, p, execute=self.verify,
+                        label=f"{self.kernel}[{fmt},p={p}]",
                     )
-                else:
-                    build = build_spmv_graph(
-                        matrix, self.machine, p,
-                        repeats=self.repeats, execute=self.verify,
-                    )
-                meas = self.engine.run(
-                    build.graph, p, execute=self.verify,
-                    label=f"{self.kernel}[{fmt},p={p}]",
-                )
-                if self.verify:
-                    build.verify()
-                result.runs[(fmt, p)] = meas
+                    if self.verify:
+                        build.verify()
+                    result.runs[(fmt, p)] = meas
         return result

@@ -317,11 +317,11 @@ def differential_study_check(
 
     msr_serial, msr_parallel = MsrFile(), MsrFile()
     serial = EnergyPerformanceStudy(
-        machine, config=config, engine=Engine(machine, msr=msr_serial)
-    ).run()
+        machine, config=config, _engine=Engine(machine, msr=msr_serial)
+    )._run(None)
     parallel = EnergyPerformanceStudy(
-        machine, config=config, engine=Engine(machine, msr=msr_parallel)
-    ).run(parallel=workers)
+        machine, config=config, _engine=Engine(machine, msr=msr_parallel)
+    )._run(workers)
 
     if set(serial.runs) != set(parallel.runs):
         missing = set(serial.runs) ^ set(parallel.runs)

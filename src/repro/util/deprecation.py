@@ -1,0 +1,21 @@
+"""One helper for the repo's deprecation policy (CONTRIBUTING.md).
+
+Renamed or superseded public APIs keep working for at least one minor
+release behind a :class:`DeprecationWarning` that names the
+replacement; callers migrate on their own schedule, nothing breaks.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated"]
+
+
+def warn_deprecated(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation warning: *old* → use *new*."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -1,0 +1,122 @@
+"""Typed counters/gauges: registration, snapshots, deltas, merge."""
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    counter,
+    registry,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestCounter:
+    def test_add_accumulates(self):
+        c = Counter("x")
+        c.add()
+        c.add(2.5)
+        assert c.value == 3.5
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("x").add(-1)
+
+
+class TestGauge:
+    def test_set_tracks_high_water(self):
+        g = Gauge("x")
+        g.set(10)
+        g.set(4)
+        assert g.value == 4.0
+        assert g.max_value == 10.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits")
+        b = reg.counter("hits")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("hits")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("hits")
+
+    def test_snapshot_and_delta(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        g = reg.gauge("bytes")
+        c.add(2)
+        g.set(100)
+        before = reg.snapshot()
+        c.add(3)
+        delta = reg.delta_since(before)
+        # Counter reports the increment; the unwritten gauge is omitted.
+        assert delta == {"hits": 3.0}
+        g.set(50)
+        assert reg.delta_since(before) == {"hits": 3.0, "bytes": 50.0}
+
+    def test_export_is_typed_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b.hits", description="d")
+        reg.gauge("a.bytes", unit="B").set(7)
+        dump = reg.export()
+        assert list(dump) == ["a.bytes", "b.hits"]
+        assert dump["a.bytes"]["kind"] == "gauge"
+        assert dump["a.bytes"]["max"] == 7.0
+        assert dump["b.hits"] == {
+            "kind": "counter", "unit": "", "description": "d", "value": 0.0,
+        }
+
+    def test_absorb_merges_worker_delta(self):
+        parent = MetricsRegistry()
+        parent.counter("hits").add(1)
+        worker = MetricsRegistry()
+        worker.counter("hits").add(4)
+        worker.gauge("bytes", unit="B").set(9)
+        before = {"hits": 2.0}
+        worker.counter("hits").add(0)  # no-op; delta vs before is 2
+        parent.absorb(worker.export_delta(before))
+        assert parent.get("hits").value == 3.0  # 1 + (4 - 2)
+        # Unknown metric auto-registered with the worker's type/unit.
+        assert isinstance(parent.get("bytes"), Gauge)
+        assert parent.get("bytes").value == 9.0
+        assert parent.get("bytes").unit == "B"
+
+    def test_reset_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").add(5)
+        reg.reset()
+        assert reg.get("hits").value == 0.0
+        assert "hits" in reg
+
+
+class TestProcessGlobal:
+    def test_module_counter_lands_in_global_registry(self):
+        c = counter("test.metrics.probe")
+        assert registry().get("test.metrics.probe") is c
+
+    def test_instrumentation_sites_registered_on_import(self):
+        # Importing the algorithms/runtime packages registers the
+        # metrics the tentpole names.
+        import repro.algorithms.base  # noqa: F401
+        import repro.power.msr  # noqa: F401
+        import repro.runtime.fastpath  # noqa: F401
+        import repro.runtime.scheduler  # noqa: F401
+
+        reg = registry()
+        for name in (
+            "build_cache.hits",
+            "build_cache.misses",
+            "lowering.tasks",
+            "lowering.arena_bytes",
+            "engine.sweeps",
+            "engine.events",
+            "rapl.reads",
+        ):
+            assert name in reg, name

@@ -1,0 +1,169 @@
+"""Span recording, nesting, the disabled fast path, and the
+deterministic worker-trace merge."""
+
+import pytest
+
+from repro.observability import trace
+from repro.observability.trace import NULL_SPAN, Span, Tracer, tracing
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Every test starts and ends with tracing disabled."""
+    trace.uninstall()
+    yield
+    trace.uninstall()
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not trace.enabled()
+        assert trace.active() is None
+
+    def test_span_returns_shared_null_handle(self):
+        assert trace.span("anything", n=1) is NULL_SPAN
+        assert trace.span("other") is NULL_SPAN
+
+    def test_null_span_is_inert_context_manager(self):
+        with trace.span("x") as sp:
+            assert sp is NULL_SPAN
+            assert sp.set(a=1) is NULL_SPAN
+
+    def test_null_span_propagates_exceptions(self):
+        with pytest.raises(ValueError):
+            with trace.span("x"):
+                raise ValueError("boom")
+
+
+class TestRecording:
+    def test_span_records_name_attrs_and_times(self):
+        with tracing() as tr:
+            with trace.span("lower", alg="strassen", n=1024):
+                pass
+        (sp,) = tr.spans
+        assert sp.name == "lower"
+        assert sp.attrs == {"alg": "strassen", "n": 1024}
+        assert sp.finished
+        assert sp.t_end >= sp.t_start
+        assert sp.duration_s >= 0.0
+        assert sp.cpu_s >= 0.0
+
+    def test_nesting_depth_and_parent_links(self):
+        with tracing() as tr:
+            with trace.span("outer"):
+                with trace.span("mid"):
+                    with trace.span("inner"):
+                        pass
+                with trace.span("mid2"):
+                    pass
+        outer, mid, inner, mid2 = tr.spans
+        assert [sp.depth for sp in tr.spans] == [0, 1, 2, 1]
+        assert outer.parent is None
+        assert mid.parent == 0
+        assert inner.parent == 1
+        assert mid2.parent == 0
+        assert [sp.name for sp in tr.roots()] == ["outer"]
+
+    def test_set_attaches_attrs_after_creation(self):
+        with tracing() as tr:
+            with trace.span("cell") as sp:
+                sp.set(elapsed=1.5)
+        assert tr.spans[0].attrs["elapsed"] == 1.5
+
+    def test_exception_unwinds_open_spans(self):
+        with tracing() as tr:
+            with pytest.raises(RuntimeError):
+                with trace.span("outer"):
+                    with trace.span("inner"):
+                        raise RuntimeError
+        assert tr.open_count == 0
+        outer, inner = tr.spans
+        assert outer.finished
+        # Inner close was skipped by the raise; only the outer handle's
+        # __exit__ ran, which unwound the stack.
+        assert tr.find("outer") == [outer]
+
+    def test_find_and_len(self):
+        with tracing() as tr:
+            for _ in range(3):
+                with trace.span("cell"):
+                    pass
+        assert len(tr) == 3
+        assert len(tr.find("cell")) == 3
+        assert tr.find("nope") == []
+
+    def test_tracing_restores_previous_tracer(self):
+        outer_tracer = Tracer()
+        with tracing(outer_tracer):
+            assert trace.active() is outer_tracer
+            with tracing() as inner:
+                assert trace.active() is inner
+            assert trace.active() is outer_tracer
+        assert trace.active() is None
+
+
+class TestSerialization:
+    def test_round_trip_through_dicts(self):
+        with tracing() as tr:
+            with trace.span("a", k=1):
+                with trace.span("b"):
+                    pass
+        restored = [Span.from_dict(d) for d in tr.export()]
+        assert [sp.name for sp in restored] == ["a", "b"]
+        assert restored[0].attrs == {"k": 1}
+        assert restored[1].parent == 0
+        assert restored[0].duration_s == tr.spans[0].duration_s
+
+
+class TestAttach:
+    def _worker_trace(self, label):
+        with tracing() as tr:
+            with trace.span("cell", label=label):
+                with trace.span("simulate"):
+                    pass
+        return tr.export()
+
+    def test_attach_preserves_structure_under_open_span(self):
+        w = self._worker_trace("w0")
+        with tracing() as tr:
+            with trace.span("study.run"):
+                tr.attach(w)
+        names = [sp.name for sp in tr.spans]
+        assert names == ["study.run", "cell", "simulate"]
+        cell = tr.spans[1]
+        sim = tr.spans[2]
+        assert cell.parent == 0 and cell.depth == 1
+        assert sim.parent == 1 and sim.depth == 2
+        assert cell.attrs["label"] == "w0"
+
+    def test_attach_order_is_call_order_not_time_order(self):
+        w0, w1 = self._worker_trace("w0"), self._worker_trace("w1")
+        with tracing() as tr:
+            with trace.span("study.run"):
+                tr.attach(w1)
+                tr.attach(w0)
+        labels = [sp.attrs["label"] for sp in tr.find("cell")]
+        assert labels == ["w1", "w0"]
+
+    def test_attached_groups_do_not_overlap(self):
+        w0, w1 = self._worker_trace("w0"), self._worker_trace("w1")
+        with tracing() as tr:
+            with trace.span("study.run"):
+                tr.attach(w0)
+                tr.attach(w1)
+        c0, c1 = tr.find("cell")
+        assert c1.t_start >= c0.t_end
+
+    def test_attach_preserves_durations(self):
+        w = self._worker_trace("w0")
+        with tracing() as tr:
+            with trace.span("study.run"):
+                tr.attach(w)
+        (cell,) = tr.find("cell")
+        original = Span.from_dict(w[0])
+        assert cell.duration_s == pytest.approx(original.duration_s)
+
+    def test_attach_empty_is_noop(self):
+        with tracing() as tr:
+            tr.attach([])
+        assert len(tr) == 0

@@ -49,6 +49,108 @@ def test_study_markdown_format(capsys):
     assert "| OpenBLAS |" in out
 
 
+def test_study_format_after_subcommand(capsys):
+    code, out, _ = run(
+        capsys,
+        "study", "--format", "csv", "--sizes", "128", "--threads", "1",
+        "--execute-max-n", "0", "--no-verify",
+    )
+    assert code == 0
+    assert "Num Threads,1,Average" in out
+
+
+def test_study_trace_flag_writes_valid_chrome_trace(capsys, tmp_path):
+    out_path = tmp_path / "study_trace.json"
+    code, out, _ = run(
+        capsys,
+        "study", "--sizes", "128", "--threads", "1", "2",
+        "--execute-max-n", "0", "--no-verify",
+        "--trace", str(out_path),
+    )
+    assert code == 0
+    assert "phase summary:" in out
+    assert "study.run" in out
+    assert str(out_path) in out
+
+    from repro.observability.export import read_trace_json, validate_chrome_trace
+
+    data = read_trace_json(out_path)
+    assert validate_chrome_trace(data) == []
+    assert data["otherData"]["meta"]["command"] == "repro study"
+    assert data["otherData"]["meta"]["wall_s"] > 0
+
+
+def test_study_parallel_matches_serial(capsys):
+    argv = ("study", "--sizes", "128", "--threads", "1", "2",
+            "--execute-max-n", "0", "--no-verify")
+    code_s, out_s, _ = run(capsys, *argv)
+    code_p, out_p, _ = run(capsys, *argv, "--parallel", "2")
+    assert code_s == code_p == 0
+    assert out_s == out_p  # deterministic fan-out: identical tables
+
+
+def test_sparse_trace_flag(capsys, tmp_path):
+    out_path = tmp_path / "sparse_trace.json"
+    code, out, _ = run(
+        capsys, "sparse", "--pattern", "banded", "--n", "64", "--repeats", "1",
+        "--no-verify", "--trace", str(out_path),
+    )
+    assert code == 0
+    assert "sparse.run" in out
+
+    from repro.observability.export import read_trace_json, validate_chrome_trace
+
+    assert validate_chrome_trace(read_trace_json(out_path)) == []
+
+
+def test_distributed_trace_flag(capsys, tmp_path):
+    out_path = tmp_path / "dist_trace.json"
+    code, out, _ = run(
+        capsys, "distributed", "--n", "2048", "--nodes", "1", "4",
+        "--trace", str(out_path),
+    )
+    assert code == 0
+    assert "distributed.run" in out
+
+    from repro.observability.export import read_trace_json, validate_chrome_trace
+
+    assert validate_chrome_trace(read_trace_json(out_path)) == []
+
+
+def test_trace_to_missing_directory_fails_fast(capsys):
+    code, _, err = run(
+        capsys,
+        "study", "--sizes", "128", "--threads", "1",
+        "--execute-max-n", "0", "--no-verify",
+        "--trace", "/nonexistent-dir/out.json",
+    )
+    assert code == 2
+    assert "directory does not exist" in err
+
+
+def test_trace_viewer_validates_study_trace(capsys, tmp_path):
+    out_path = tmp_path / "study_trace.json"
+    code, _, _ = run(
+        capsys,
+        "study", "--sizes", "256", "--threads", "1", "2",
+        "--execute-max-n", "0", "--no-verify",
+        "--trace", str(out_path),
+    )
+    assert code == 0
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    viewer = Path(__file__).resolve().parent.parent / "tools" / "trace.py"
+    proc = subprocess.run(
+        [sys.executable, str(viewer), str(out_path), "--validate", "--tol", "0.05"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "trace is valid" in proc.stdout
+
+
 def test_choose_with_generous_cap(capsys):
     code, out, _ = run(
         capsys, "choose", "--n", "128", "--threads", "1", "2", "--cap", "500"

@@ -45,6 +45,8 @@ import sys
 import time
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.algorithms import StrassenWinograd
 from repro.algorithms.registry import BuildCache
 from repro.machine import haswell_e3_1225
@@ -66,6 +68,12 @@ GATED = {
 }
 #: Allowed regression before the gate fails (fraction of baseline).
 TOLERANCE = 0.25
+
+#: Hard ceiling on the estimated tracing-disabled overhead of the gated
+#: sections, in percent of section wall time.  Absolute (no baseline):
+#: the disabled path is one global load + ``is None`` test per span
+#: site, so the estimate must stay small on any host.
+OVERHEAD_LIMIT_PCT = 2.0
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -104,7 +112,7 @@ def bench_matrix(machine, sizes: tuple[int, ...]) -> dict:
     for engine in ("reference", "fast"):
         cfg = StudyConfig(sizes=sizes, execute_max_n=0)
         study = EnergyPerformanceStudy(
-            machine, config=cfg, engine=Engine(machine, engine=engine)
+            machine, config=cfg, _engine=Engine(machine, engine=engine)
         )
         t0 = time.perf_counter()
         result = study.run()
@@ -197,6 +205,59 @@ def bench_graph_build(
     return out
 
 
+def bench_trace_overhead(machine, repeats: int, sizes: tuple[int, ...]) -> dict:
+    """Estimated cost of *disabled* tracing on the gated sections.
+
+    Two measurements compose the estimate: the per-call cost of the
+    disabled ``trace.span()`` fast path (a global load plus ``is
+    None``), and the number of span sites each gated workload passes
+    through (counted by running it once under a live tracer).  The
+    product over the section's wall time is the worst-case relative
+    overhead instrumentation adds when tracing is off; the smoke gate
+    asserts it stays under ``OVERHEAD_LIMIT_PCT``.
+    """
+    from repro.algorithms.registry import paper_algorithms
+    from repro.observability import trace as obtrace
+
+    calls = 200_000
+    span = obtrace.span
+
+    def spin():
+        for _ in range(calls):
+            span("overhead-probe")
+
+    per_call_s = _best_of(spin, repeats) / calls
+
+    graph = _wide_graph(2000)
+    sched = Scheduler(machine, threads=4, execute=False, engine="fast")
+    with obtrace.tracing() as tr:
+        sched.run(graph)
+    sched_spans = len(tr)
+    sched_s = _best_of(lambda: sched.run(graph), repeats)
+
+    def build_matrix():
+        for alg in paper_algorithms(machine):
+            for n in sizes:
+                for p in (1, 2, 3, 4):
+                    if alg.build_arena(n, p) is None:
+                        alg.build(n, p, execute=False)
+
+    with obtrace.tracing() as tr:
+        build_matrix()
+    build_spans = len(tr)
+    build_s = _best_of(build_matrix, min(repeats, 3))
+
+    out = {
+        "per_call_ns": per_call_s * 1e9,
+        "scheduler_spans": sched_spans,
+        "scheduler_pct": 100.0 * sched_spans * per_call_s / sched_s,
+        "graph_build_spans": build_spans,
+        "graph_build_pct": 100.0 * build_spans * per_call_s / build_s,
+    }
+    out["max_pct"] = max(out["scheduler_pct"], out["graph_build_pct"])
+    return out
+
+
 def bench_cache_sim(repeats: int) -> dict:
     """64 KiB stride-64 stream through the LRU hierarchy."""
     spec = CacheHierarchySpec.haswell_like()
@@ -220,6 +281,7 @@ def run_suite(smoke: bool) -> dict:
         "lowering_cache": bench_lowering_cache(machine, cache_n, repeats),
         "cache_sim64k": bench_cache_sim(repeats),
         "graph_build": bench_graph_build(machine, sizes, repeats),
+        "trace_overhead": bench_trace_overhead(machine, repeats, sizes),
     }
 
 
@@ -254,6 +316,20 @@ def gate(current: dict, baseline: dict) -> int:
             failures.append(
                 f"{bench}: {field} {now:.2f}x < floor {floor:.2f}x "
                 f"(baseline {base:.2f}x, tolerance {TOLERANCE:.0%})"
+            )
+    overhead = current.get("trace_overhead", {}).get("max_pct")
+    if overhead is None:
+        failures.append("trace_overhead: missing max_pct")
+    else:
+        status = "ok" if overhead <= OVERHEAD_LIMIT_PCT else "TOO HIGH"
+        print(
+            f"  {'trace_overhead':20s} max_pct: {overhead:.3f}% disabled-"
+            f"tracing overhead (limit {OVERHEAD_LIMIT_PCT:.1f}%) {status}"
+        )
+        if overhead > OVERHEAD_LIMIT_PCT:
+            failures.append(
+                f"trace_overhead: estimated disabled-tracing overhead "
+                f"{overhead:.3f}% exceeds {OVERHEAD_LIMIT_PCT:.1f}%"
             )
     if failures:
         print("\nFAIL:")

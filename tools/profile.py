@@ -41,7 +41,7 @@ import io
 import pstats
 
 from repro.algorithms.registry import make_algorithm
-from repro.machine import haswell_e3_1225
+from repro.cliargs import add_machine_args, machine_from_args
 from repro.sim import Engine
 
 
@@ -62,7 +62,7 @@ def _profiled(fn, top: int, sort: str):
 
 
 def phase_build(args) -> None:
-    machine = haswell_e3_1225()
+    machine = machine_from_args(args)
 
     print(f"== object recursion: {args.alg} n={args.n} p={args.threads} ==")
     alg = make_algorithm(args.alg, machine)
@@ -86,7 +86,7 @@ def phase_build(args) -> None:
 
 
 def phase_sim(args) -> None:
-    machine = haswell_e3_1225()
+    machine = machine_from_args(args)
     alg = make_algorithm(args.alg, machine)
     if args.graph == "arena":
         build = alg.build_arena(args.n, args.threads)
@@ -110,7 +110,7 @@ def phase_sim(args) -> None:
 def phase_study(args) -> None:
     from repro.core.study import EnergyPerformanceStudy, StudyConfig
 
-    machine = haswell_e3_1225()
+    machine = machine_from_args(args)
     cfg = StudyConfig(sizes=tuple(args.sizes), execute_max_n=0)
     study = EnergyPerformanceStudy(machine, config=cfg)
     print(f"== study matrix: sizes={args.sizes} (cost-only) ==")
@@ -120,6 +120,7 @@ def phase_study(args) -> None:
 
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_machine_args(ap)
     ap.add_argument("--phase", choices=("build", "sim", "study"), default="sim")
     ap.add_argument("--alg", default="strassen",
                     help="algorithm name (build/sim phases)")
