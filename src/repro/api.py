@@ -29,6 +29,7 @@ from .algorithms import MatmulAlgorithm
 from .core.study import (
     PAPER_SIZES,
     PAPER_THREADS,
+    TRANSPORTS,
     EnergyPerformanceStudy,
     StudyConfig,
     StudyResult,
@@ -60,6 +61,7 @@ __all__ = [
     "StudyConfig",
     "StudyResult",
     "StudyRun",
+    "TRANSPORTS",
     "dual_socket_haswell",
     "generic_smp",
     "haswell_e3_1225",
@@ -95,6 +97,22 @@ class RunOptions:
         Optional overrides of the same-named
         :class:`~repro.core.study.StudyConfig` fields for this run
         only; ``None`` keeps the study's configured values.
+    transport:
+        How parallel runs ship pre-lowered arenas to workers:
+        ``"auto"`` (shared memory when available, else pickling with a
+        one-time warning), ``"shm"`` (require shared memory), or
+        ``"pickle"`` (force the copying path).  ``None`` — the default
+        — defers to the ``REPRO_STUDY_TRANSPORT`` environment variable,
+        falling back to ``"auto"``.  Irrelevant to serial runs; results
+        are bit-identical under every transport.
+    checkpoint:
+        Path of a completed-cell journal to write during the run (see
+        :mod:`repro.core.journal`).
+    resume:
+        Path of an existing journal whose cells are replayed instead of
+        re-simulated; combined with ``checkpoint`` pointing elsewhere,
+        the new journal is written complete.  A resumed run is
+        bit-identical to an uninterrupted one.
     """
 
     engine: "str | Engine" = "fast"
@@ -102,6 +120,9 @@ class RunOptions:
     trace: "bool | str | Path" = False
     execute_max_n: int | None = None
     verify: bool | None = None
+    transport: str | None = None
+    checkpoint: "str | Path | None" = None
+    resume: "str | Path | None" = None
 
     def __post_init__(self) -> None:
         if isinstance(self.engine, str) and self.engine not in _ENGINES:
@@ -112,6 +133,11 @@ class RunOptions:
         if self.parallel is not None and self.parallel < 0:
             raise ConfigurationError(
                 f"parallel must be >= 0, got {self.parallel}"
+            )
+        if self.transport is not None and self.transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {TRANSPORTS} (or None for the "
+                f"environment default), got {self.transport!r}"
             )
 
 
@@ -239,13 +265,20 @@ class Study:
             config=cfg,
             _engine=self._engine(opts),
         )
+        run_kwargs = dict(
+            transport=opts.transport,
+            checkpoint=opts.checkpoint,
+            resume=opts.resume,
+        )
         if not opts.trace:
-            return StudyRun(result=study._run(opts.parallel), options=opts)
+            return StudyRun(
+                result=study._run(opts.parallel, **run_kwargs), options=opts
+            )
 
         reg = _registry()
         snap = reg.snapshot()
         with _trace.tracing() as tracer:
-            result = study._run(opts.parallel)
+            result = study._run(opts.parallel, **run_kwargs)
         run = StudyRun(
             result=result,
             tracer=tracer,

@@ -23,7 +23,9 @@ from typing import Sequence
 from .cliargs import (
     add_format_arg,
     add_machine_args,
+    add_study_scale_args,
     add_trace_arg,
+    check_journal_path,
     check_trace_path,
     emit,
     get_format,
@@ -106,8 +108,10 @@ def cmd_describe(args) -> int:
 
 def cmd_study(args) -> int:
     from .api import RunOptions, Study
+    from .observability.metrics import registry as metrics_registry
 
     check_trace_path(args.trace)
+    check_journal_path(args.checkpoint, args.resume)
     study = Study(
         machine_from_args(args),
         sizes=tuple(args.sizes),
@@ -115,9 +119,25 @@ def cmd_study(args) -> int:
         execute_max_n=args.execute_max_n,
         verify=not args.no_verify,
     )
+    snap = metrics_registry().snapshot()
     run = study.run(
-        RunOptions(parallel=args.parallel, trace=bool(args.trace))
+        RunOptions(
+            parallel=args.parallel,
+            trace=bool(args.trace),
+            transport=args.transport,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
     )
+    if args.resume is not None:
+        delta = metrics_registry().delta_since(snap)
+        resumed = int(delta.get("study.cells_resumed", 0))
+        total = len(run.result.runs)
+        print(
+            f"resumed {resumed}/{total} cells from {args.resume} "
+            f"({total - resumed} newly simulated)"
+        )
+        print()
     result = run.result
     fmt = get_format(args)
     for title, table in (
@@ -321,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "(deterministic; identical results to serial)")
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--figures", action="store_true", help="render ASCII figures too")
+    add_study_scale_args(p)
     p.set_defaults(func=cmd_study)
 
     p = sub.add_parser("choose", help="algorithm choice under a power cap")

@@ -22,7 +22,9 @@ __all__ = [
     "FORMATS",
     "add_format_arg",
     "add_machine_args",
+    "add_study_scale_args",
     "add_trace_arg",
+    "check_journal_path",
     "check_trace_path",
     "emit",
     "get_format",
@@ -85,6 +87,69 @@ def check_trace_path(path: str | os.PathLike | None) -> None:
         )
     if not os.access(parent, os.W_OK):
         raise ConfigurationError(f"--trace: directory not writable: {parent}")
+
+
+def add_study_scale_args(parser: argparse.ArgumentParser) -> None:
+    """The huge-sweep argument group: worker transport and
+    checkpoint/resume journaling (shared by ``repro study`` and any
+    tool that drives a parallel study)."""
+    from .core.study import TRANSPORTS
+
+    g = parser.add_argument_group("scale")
+    g.add_argument(
+        "--transport",
+        choices=TRANSPORTS,
+        default=None,
+        help="how parallel runs ship pre-lowered arenas to workers "
+        "(default: REPRO_STUDY_TRANSPORT env var, else 'auto' — shared "
+        "memory when available, falling back to pickling; results are "
+        "bit-identical either way)",
+    )
+    g.add_argument(
+        "--checkpoint",
+        metavar="JOURNAL.jsonl",
+        default=None,
+        help="journal completed cells to this JSONL file (fsynced in "
+        "batches) so an interrupted sweep can be resumed",
+    )
+    g.add_argument(
+        "--resume",
+        metavar="JOURNAL.jsonl",
+        default=None,
+        help="replay completed cells from this journal instead of "
+        "re-simulating them; the resumed run is bit-identical to an "
+        "uninterrupted one",
+    )
+
+
+def check_journal_path(
+    checkpoint: str | os.PathLike | None, resume: str | os.PathLike | None
+) -> None:
+    """Fail fast on bad ``--checkpoint``/``--resume`` destinations —
+    before the sweep, not hours into it."""
+    if checkpoint is not None:
+        parent = Path(checkpoint).parent
+        if not parent.is_dir():
+            raise ConfigurationError(
+                f"--checkpoint: directory does not exist: {parent}"
+            )
+        if not os.access(parent, os.W_OK):
+            raise ConfigurationError(
+                f"--checkpoint: directory not writable: {parent}"
+            )
+    if resume is not None:
+        path = Path(resume)
+        # A missing resume file is legal — the first run of a resumable
+        # sweep starts the journal — but its directory must exist so a
+        # typo'd path fails now, not after the sweep.
+        if not path.parent.is_dir():
+            raise ConfigurationError(
+                f"--resume: directory does not exist: {path.parent}"
+            )
+        if not path.exists() and not os.access(path.parent, os.W_OK):
+            raise ConfigurationError(
+                f"--resume: directory not writable: {path.parent}"
+            )
 
 
 def add_machine_args(parser: argparse.ArgumentParser) -> None:

@@ -17,13 +17,16 @@ Fig. 3), average power (Table III / Figs. 4-6) and EP values/scaling
 from __future__ import annotations
 
 import copy
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 from ..algorithms.base import MatmulAlgorithm
 from ..algorithms.registry import paper_algorithms
 from ..machine.specs import MachineSpec
 from ..observability import trace
+from ..observability.metrics import counter
 from ..observability.metrics import registry as metrics_registry
 from ..power.planes import Plane
 from ..sim.engine import Engine
@@ -32,9 +35,33 @@ from ..util.deprecation import warn_deprecated
 from ..util.errors import ConfigurationError, StudyCellError, ValidationError
 from ..util.validation import require_nonempty, require_positive
 from .ep import EPConvention, EPMeasurement
+from .journal import StudyJournal, study_fingerprint
 from .scaling import ScalingPoint, scaling_series
 
-__all__ = ["StudyConfig", "StudyResult", "EnergyPerformanceStudy", "PAPER_SIZES", "PAPER_THREADS"]
+__all__ = [
+    "StudyConfig",
+    "StudyResult",
+    "EnergyPerformanceStudy",
+    "PAPER_SIZES",
+    "PAPER_THREADS",
+    "TRANSPORTS",
+]
+
+#: Arena transports the parallel driver accepts: ``"auto"`` prefers
+#: shared memory and falls back to pickling, the other two force one.
+TRANSPORTS: tuple[str, ...] = ("auto", "shm", "pickle")
+
+#: Environment override for the transport (used by CI to force the shm
+#: path through entry points that don't plumb the knob, e.g. the verify
+#: harness's serial-vs-parallel study differential).
+TRANSPORT_ENV = "REPRO_STUDY_TRANSPORT"
+
+_PICKLE_BYTES_AVOIDED = counter(
+    "study.pickle_bytes_avoided",
+    unit="B",
+    description="arena column bytes shipped to workers by descriptor "
+    "instead of pickle",
+)
 
 #: The paper's problem sizes and thread counts.
 PAPER_SIZES: tuple[int, ...] = (512, 1024, 2048, 4096)
@@ -284,11 +311,26 @@ class EnergyPerformanceStudy:
             )
         return self._run(parallel)
 
-    def _run(self, parallel: int | None = None) -> StudyResult:
+    def _run(
+        self,
+        parallel: int | None = None,
+        *,
+        transport: str | None = None,
+        checkpoint: "str | Path | None" = None,
+        resume: "str | Path | None" = None,
+    ) -> StudyResult:
         """Internal entry point (no deprecation shim; used by
         :mod:`repro.api`).  Instrumented: the whole matrix runs under a
         ``study.run`` span, each cell under a ``cell`` span (serial
-        in-process; parallel via deterministic worker-trace merge)."""
+        in-process; parallel via deterministic worker-trace merge).
+
+        *transport* picks how parallel runs ship pre-lowered arenas to
+        workers (see :data:`TRANSPORTS`; ``None`` = env override or
+        ``"auto"``).  *checkpoint* writes a completed-cell journal;
+        *resume* additionally replays an existing journal's cells into
+        the merge — in serial order, MSR deposits included — so a
+        resumed run is bit-identical to an uninterrupted one.
+        """
         result = StudyResult(
             machine=self.machine,
             config=self.config,
@@ -301,20 +343,109 @@ class EnergyPerformanceStudy:
             for n in self.config.sizes
             for p in self.config.threads
         ]
-        with trace.span(
-            "study.run",
-            sizes=list(self.config.sizes),
-            threads=list(self.config.threads),
-            algorithms=[a.name for a in self.algorithms],
-            cells=len(cells),
-            parallel=int(parallel or 0),
-        ):
-            if parallel is not None and parallel > 1 and len(cells) > 1:
-                self._run_parallel(result, cells, parallel)
-            else:
-                for alg, n, p in cells:
-                    result.runs[(alg.name, n, p)] = self._run_one(alg, n, p)
+        journal = self._open_journal(checkpoint, resume)
+        try:
+            with trace.span(
+                "study.run",
+                sizes=list(self.config.sizes),
+                threads=list(self.config.threads),
+                algorithms=[a.name for a in self.algorithms],
+                cells=len(cells),
+                parallel=int(parallel or 0),
+            ):
+                if parallel is not None and parallel > 1 and len(cells) > 1:
+                    self._run_parallel(
+                        result, cells, parallel, transport=transport, journal=journal
+                    )
+                else:
+                    self._run_serial(result, cells, journal)
+        finally:
+            if journal is not None:
+                journal.close()
         return result
+
+    # ---- checkpoint/resume ---------------------------------------------
+
+    def _fingerprint(self) -> str:
+        """Digest of (machine, algorithms, config, kernel) — what must
+        match for a journal's cells to be replayable into this run."""
+        from dataclasses import asdict
+
+        return study_fingerprint(
+            self.machine.name,
+            [a.name for a in self.algorithms],
+            asdict(self.config),
+            str(getattr(self.engine, "engine", None) or "default"),
+        )
+
+    def _journal_meta(self) -> dict:
+        return {
+            "machine": self.machine.name,
+            "algorithms": [a.name for a in self.algorithms],
+            "sizes": list(self.config.sizes),
+            "threads": list(self.config.threads),
+            "seed": self.config.seed,
+        }
+
+    def _open_journal(
+        self, checkpoint: "str | Path | None", resume: "str | Path | None"
+    ) -> StudyJournal | None:
+        """Open the run's journal (``None`` when neither knob is set).
+
+        ``resume`` alone replays and appends to the same file;
+        ``checkpoint`` alone starts a fresh journal; both together seed
+        a fresh journal at *checkpoint* from *resume*'s entries (the
+        new file ends up complete, replayed cells included).
+        """
+        if checkpoint is None and resume is None:
+            return None
+        fingerprint = self._fingerprint()
+        meta = self._journal_meta()
+        if (
+            checkpoint is not None
+            and resume is not None
+            and Path(checkpoint).resolve() != Path(resume).resolve()
+        ):
+            source = StudyJournal.open(resume, fingerprint, resume=True)
+            source.close()
+            journal = StudyJournal.open(
+                checkpoint, fingerprint, resume=False, meta=meta
+            )
+            journal._entries.update(source._entries)
+            journal.replayed = source.replayed
+            return journal
+        path = resume if resume is not None else checkpoint
+        return StudyJournal.open(
+            path, fingerprint, resume=resume is not None, meta=meta
+        )
+
+    def _run_serial(
+        self,
+        result: StudyResult,
+        cells: list[tuple[MatmulAlgorithm, int, int]],
+        journal: StudyJournal | None,
+    ) -> None:
+        """The serial (table-order) sweep, with optional journal replay.
+
+        Replayed cells skip simulation but still deposit their plane
+        energies into the engine's MSR — in the same serial order the
+        uninterrupted run would — so a RAPL/PAPI reader wrapped around
+        the run observes an identical counter stream.
+        """
+        msr = getattr(self.engine, "msr", None)
+        for alg, n, p in cells:
+            key = (alg.name, n, p)
+            measurement = journal.get(key) if journal is not None else None
+            if measurement is None:
+                measurement = self._run_one(alg, n, p)
+            elif msr is not None:
+                energy = measurement.energy
+                msr.deposit_energy(Plane.PACKAGE, energy.package)
+                msr.deposit_energy(Plane.PP0, energy.pp0)
+                msr.deposit_energy(Plane.DRAM, energy.dram)
+            result.runs[key] = measurement
+            if journal is not None:
+                journal.record(key, measurement)
 
     def _run_one(self, alg: MatmulAlgorithm, n: int, threads: int) -> RunMeasurement:
         return _run_cell(
@@ -359,8 +490,22 @@ class EnergyPerformanceStudy:
         result: StudyResult,
         cells: list[tuple[MatmulAlgorithm, int, int]],
         workers: int,
+        *,
+        transport: str | None = None,
+        journal: StudyJournal | None = None,
     ) -> None:
         """Fan *cells* over a process pool; merge deterministically.
+
+        Under the ``"shm"`` transport (the default when available) the
+        parent lowers each cost-only arena cell once into a pooled
+        shared-memory segment and ships workers only the picklable
+        :class:`~repro.runtime.shm.ArenaDescriptor` — O(100) bytes per
+        cell instead of the multi-megabyte column payloads — which the
+        worker attaches read-only and runs the arena-native fast engine
+        on directly.  Segment lifecycle is owned by an
+        :class:`~repro.runtime.shm.ArenaPool` closed in a ``finally``,
+        so segments are unlinked even on worker crash or Ctrl-C (POSIX
+        keeps the pages alive for workers that still map them).
 
         When tracing is enabled in the parent, each worker records its
         cell under a fresh in-process tracer and ships the exported
@@ -369,55 +514,100 @@ class EnergyPerformanceStudy:
         (= serial) order — never completion order — so the merged trace
         structure and metric totals are identical run to run, the same
         guarantee the measurements already have.
+
+        With a *journal*, already-completed cells are not resubmitted;
+        they re-enter the merge below from the journal, in serial order.
         """
         from concurrent.futures import ProcessPoolExecutor
 
+        from ..runtime.shm import ArenaPool, record_fallback
+
+        mode = _resolve_transport(transport)
         # Workers get an MSR-less copy of the engine: MSR deposits are
         # replayed by the parent (below) so the counter stream matches
         # the serial run, and emulated MSR files need not be picklable.
         worker_engine = copy.copy(self.engine)
         worker_engine.msr = None
         traced = trace.enabled()
-        with trace.span("prebuild", cells=len(cells)):
-            payloads = [
-                (
-                    worker_engine,
-                    alg,
-                    n,
-                    p,
-                    self.config.seed,
-                    n <= self.config.execute_max_n,
-                    self.config.verify,
-                    self._prebuild(alg, n, p),
-                )
-                for alg, n, p in cells
-            ]
-        with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
-            futures = [
-                pool.submit(_run_cell_worker, payload, traced)
-                for payload in payloads
-            ]
-            # Merge in submission (= serial) order; a slow early cell
-            # simply makes later .result() calls return instantly.  A
-            # crashing worker is re-raised with the failing cell's
-            # coordinates instead of a bare pool traceback.
-            outcomes = []
-            for (alg, n, p), future in zip(cells, futures):
-                try:
-                    outcomes.append(future.result())
-                except StudyCellError:
-                    raise
-                except Exception as exc:
-                    raise StudyCellError(alg.name, n, p, exc) from exc
+        pending = [
+            (alg, n, p)
+            for alg, n, p in cells
+            if journal is None or not journal.has((alg.name, n, p))
+        ]
+        arena_pool = ArenaPool() if mode == "shm" and pending else None
+        outcomes: dict[tuple[str, int, int], tuple] = {}
+        try:
+            with trace.span("prebuild", cells=len(pending), transport=mode):
+                payloads = []
+                for alg, n, p in pending:
+                    prebuilt = self._prebuild(alg, n, p)
+                    if prebuilt is not None and arena_pool is not None:
+                        arena = prebuilt.graph
+                        try:
+                            descriptor = arena.to_shm(arena_pool)
+                        except OSError as exc:
+                            # Segment creation failed (ENOSPC on a tiny
+                            # /dev/shm, EMFILE, ...): ship this cell —
+                            # and keep shipping the rest — by pickle.
+                            record_fallback(str(exc))
+                        else:
+                            _PICKLE_BYTES_AVOIDED.add(arena.nbytes)
+                            prebuilt = _ShmBuild(
+                                descriptor=descriptor,
+                                n=prebuilt.n,
+                                variant=prebuilt.variant,
+                                cutoff=prebuilt.cutoff,
+                            )
+                    payloads.append(
+                        (
+                            worker_engine,
+                            alg,
+                            n,
+                            p,
+                            self.config.seed,
+                            n <= self.config.execute_max_n,
+                            self.config.verify,
+                            prebuilt,
+                        )
+                    )
+            if payloads:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(payloads))
+                ) as pool:
+                    futures = [
+                        pool.submit(_run_cell_worker, payload, traced)
+                        for payload in payloads
+                    ]
+                    # Collect in submission (= serial) order; a slow
+                    # early cell simply makes later .result() calls
+                    # return instantly.  A crashing worker is re-raised
+                    # with the failing cell's coordinates instead of a
+                    # bare pool traceback.
+                    for (alg, n, p), future in zip(pending, futures):
+                        try:
+                            outcomes[(alg.name, n, p)] = future.result()
+                        except StudyCellError:
+                            raise
+                        except Exception as exc:
+                            raise StudyCellError(alg.name, n, p, exc) from exc
+        finally:
+            if arena_pool is not None:
+                arena_pool.close()
         tracer = trace.active()
         msr = getattr(self.engine, "msr", None)
         with trace.span("merge", cells=len(cells)):
-            for (alg, n, p), (measurement, spans, metric_delta) in zip(
-                cells, outcomes
-            ):
-                result.runs[(alg.name, n, p)] = measurement
-                if metric_delta:
-                    metrics_registry().absorb(metric_delta)
+            for alg, n, p in cells:
+                key = (alg.name, n, p)
+                outcome = outcomes.get(key)
+                if outcome is not None:
+                    measurement, _, metric_delta = outcome
+                    if metric_delta:
+                        metrics_registry().absorb(metric_delta)
+                else:
+                    measurement = journal.get(key)
+                result.runs[key] = measurement
+                if journal is not None:
+                    journal.record(key, measurement)
                 if msr is not None:
                     energy = measurement.energy
                     msr.deposit_energy(Plane.PACKAGE, energy.package)
@@ -427,9 +617,57 @@ class EnergyPerformanceStudy:
         # at depth 1 under study.run, exactly like the serial path (the
         # default phase summary aggregates at max_depth=1).
         if tracer is not None:
-            for _, spans, _ in outcomes:
-                if spans:
-                    tracer.attach(spans)
+            for alg, n, p in pending:
+                outcome = outcomes.get((alg.name, n, p))
+                if outcome is not None and outcome[1]:
+                    tracer.attach(outcome[1])
+
+
+def _resolve_transport(requested: str | None) -> str:
+    """Resolve the arena transport for a parallel run.
+
+    Precedence: explicit *requested* argument, then the
+    :data:`TRANSPORT_ENV` environment variable, then ``"auto"``.
+    ``"auto"`` probes shared-memory availability and degrades to
+    ``"pickle"`` with a one-time warning plus the
+    ``study.shm_fallbacks`` counter; forcing ``"shm"`` on a host
+    without it is a :class:`ConfigurationError`.
+    """
+    from ..runtime.shm import record_fallback, shm_available
+
+    mode = requested or os.environ.get(TRANSPORT_ENV) or "auto"
+    if mode not in TRANSPORTS:
+        raise ConfigurationError(
+            f"unknown study transport {mode!r}; expected one of {TRANSPORTS}"
+        )
+    if mode == "pickle":
+        return "pickle"
+    ok, reason = shm_available()
+    if ok:
+        return "shm"
+    if mode == "shm":
+        raise ConfigurationError(
+            f"transport='shm' requested but shared memory is unavailable: "
+            f"{reason}"
+        )
+    record_fallback(reason)
+    return "pickle"
+
+
+@dataclass(frozen=True)
+class _ShmBuild:
+    """Worker payload stand-in for a parent-lowered arena build.
+
+    Pickles to O(100) bytes: the arena's columns stay in the parent's
+    pooled shared-memory segment and only this descriptor travels.  The
+    worker re-inflates it to a cost-only
+    :class:`~repro.algorithms.base.BuildResult` over the attached arena.
+    """
+
+    descriptor: object  # ArenaDescriptor (kept untyped: picklable leaf)
+    n: int
+    variant: str
+    cutoff: int
 
 
 def _run_cell(payload) -> RunMeasurement:
@@ -447,35 +685,63 @@ def _run_cell(payload) -> RunMeasurement:
     cell's wall and CPU time.
     """
     engine, alg, n, threads, seed, execute, verify, prebuilt = payload
-    with trace.span(
-        "cell", alg=alg.name, n=n, threads=threads, execute=bool(execute)
-    ) as cell_span:
-        snap = metrics_registry().snapshot() if trace.enabled() else None
-        if prebuilt is not None:
-            build = prebuilt  # parent-lowered cost-only arena (see _prebuild)
-        else:
-            with trace.span("build", alg=alg.name, n=n, threads=threads):
-                build = alg.build_cached(n, threads, seed=seed, execute=execute)
-        with trace.span("simulate", alg=alg.name, n=n, threads=threads):
-            measurement = engine.run(
-                build.graph,
-                threads,
-                execute=execute,
-                label=f"{alg.name}[n={n},p={threads}]",
-            )
-        if execute and verify:
-            with trace.span("verify", alg=alg.name, n=n):
-                report = build.verify()
-            if not report.ok:
-                raise ValidationError(
-                    f"{alg.display_name} n={n} p={threads}: numerical error "
-                    f"{report.abs_error:.3e} exceeds bound {report.bound:.3e}"
+    attached = None
+    if isinstance(prebuilt, _ShmBuild):
+        from ..algorithms.base import BuildResult
+        from ..runtime.arena import TaskArena
+
+        try:
+            attached = TaskArena.from_shm(prebuilt.descriptor)
+        except Exception as exc:
+            # Attach failures (segment unlinked early, name collision,
+            # schema drift) surface with the cell's coordinates, not as
+            # a bare FileNotFoundError out of the pool.
+            raise StudyCellError(alg.name, n, threads, exc) from exc
+        prebuilt = BuildResult(
+            graph=attached,
+            n=prebuilt.n,
+            a=None,
+            b=None,
+            c=None,
+            variant=prebuilt.variant,
+            cutoff=prebuilt.cutoff,
+        )
+    try:
+        with trace.span(
+            "cell", alg=alg.name, n=n, threads=threads, execute=bool(execute)
+        ) as cell_span:
+            snap = metrics_registry().snapshot() if trace.enabled() else None
+            if prebuilt is not None:
+                build = prebuilt  # parent-lowered cost-only arena (see _prebuild)
+            else:
+                with trace.span("build", alg=alg.name, n=n, threads=threads):
+                    build = alg.build_cached(n, threads, seed=seed, execute=execute)
+            with trace.span("simulate", alg=alg.name, n=n, threads=threads):
+                measurement = engine.run(
+                    build.graph,
+                    threads,
+                    execute=execute,
+                    label=f"{alg.name}[n={n},p={threads}]",
                 )
-        if snap is not None:
-            cell_span.set(
-                sim_elapsed_s=measurement.elapsed_s,
-                metrics=metrics_registry().delta_since(snap),
-            )
+            if execute and verify:
+                with trace.span("verify", alg=alg.name, n=n):
+                    report = build.verify()
+                if not report.ok:
+                    raise ValidationError(
+                        f"{alg.display_name} n={n} p={threads}: numerical error "
+                        f"{report.abs_error:.3e} exceeds bound {report.bound:.3e}"
+                    )
+            if snap is not None:
+                cell_span.set(
+                    sim_elapsed_s=measurement.elapsed_s,
+                    metrics=metrics_registry().delta_since(snap),
+                )
+    finally:
+        if attached is not None:
+            from ..runtime.shm import detach_arena
+
+            del prebuilt
+            detach_arena(attached)
     return measurement
 
 

@@ -6,6 +6,7 @@ discrete-event scheduler with shared L3/DRAM bandwidth contention.
 
 from .arena import TaskArena
 from .cost import ZERO_COST, TaskCost
+from .shm import ArenaDescriptor, ArenaPool
 from .openmp import OpenMP, omp_num_threads
 from .scheduler import (
     ActivityInterval,
@@ -20,6 +21,8 @@ from .timeline import CoreTimeline
 
 __all__ = [
     "ActivityInterval",
+    "ArenaDescriptor",
+    "ArenaPool",
     "CoreTimeline",
     "OpenMP",
     "RuntimeStats",

@@ -29,6 +29,41 @@ class TestRunOptions:
         opts = RunOptions(engine=Engine(machine))
         assert isinstance(opts.engine, Engine)
 
+    def test_transport_default_defers_to_environment(self):
+        assert RunOptions().transport is None
+
+    def test_known_transports_accepted(self):
+        for transport in ("auto", "shm", "pickle"):
+            assert RunOptions(transport=transport).transport == transport
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError, match="transport"):
+            RunOptions(transport="osmosis")
+
+    def test_run_with_checkpoint_and_resume(self, machine, tmp_path):
+        """The facade plumbs checkpoint/resume through to the driver and
+        a resumed run reproduces the original result exactly."""
+        journal = tmp_path / "study.jsonl"
+        first = Study(machine, **CFG).run(RunOptions(checkpoint=journal))
+        assert journal.exists()
+        resumed = Study(machine, **CFG).run(RunOptions(resume=journal))
+        assert list(first.result.runs) == list(resumed.result.runs)
+        for key in first.result.runs:
+            a, b = first.result.runs[key], resumed.result.runs[key]
+            assert a.elapsed_s == b.elapsed_s, key
+            assert a.energy.package == b.energy.package, key
+
+    def test_parallel_transports_match_serial(self, machine):
+        serial = Study(machine, **CFG).run(RunOptions())
+        for transport in ("shm", "pickle"):
+            par = Study(machine, **CFG).run(
+                RunOptions(parallel=2, transport=transport)
+            )
+            for key in serial.result.runs:
+                a, b = serial.result.runs[key], par.result.runs[key]
+                assert a.elapsed_s == b.elapsed_s, (transport, key)
+                assert a.energy.package == b.energy.package, (transport, key)
+
 
 class TestStudy:
     def test_defaults_to_paper_platform_and_matrix(self):

@@ -89,6 +89,53 @@ def test_study_parallel_matches_serial(capsys):
     assert out_s == out_p  # deterministic fan-out: identical tables
 
 
+def test_study_transports_match(capsys):
+    """--transport shm and --transport pickle print identical tables."""
+    argv = ("study", "--sizes", "256", "--threads", "1", "2",
+            "--execute-max-n", "0", "--no-verify", "--parallel", "2")
+    code_a, out_a, _ = run(capsys, *argv, "--transport", "shm")
+    code_b, out_b, _ = run(capsys, *argv, "--transport", "pickle")
+    assert code_a == code_b == 0
+    assert out_a == out_b
+
+
+def test_study_checkpoint_then_resume(capsys, tmp_path):
+    """An interrupted sweep resumes from its journal: the resumed run
+    reports replayed cells and prints the same tables."""
+    journal = tmp_path / "study.jsonl"
+    argv = ("study", "--sizes", "128", "--threads", "1", "2",
+            "--execute-max-n", "0", "--no-verify")
+    code_full, out_full, _ = run(capsys, *argv, "--checkpoint", str(journal))
+    assert code_full == 0
+    # simulate a crash: keep header + 2 cells
+    lines = journal.read_text().splitlines(True)
+    journal.write_text("".join(lines[:3]))
+    code_res, out_res, _ = run(capsys, *argv, "--resume", str(journal))
+    assert code_res == 0
+    assert f"resumed 2/6 cells from {journal}" in out_res
+    assert out_res.split("\n\n", 1)[1] == out_full  # identical tables
+
+
+def test_study_resume_missing_directory_fails_fast(capsys):
+    code, _, err = run(
+        capsys, "study", "--sizes", "128", "--threads", "1",
+        "--execute-max-n", "0", "--no-verify",
+        "--resume", "/no/such/dir/journal.jsonl",
+    )
+    assert code == 2
+    assert "directory does not exist" in err
+
+
+def test_study_checkpoint_missing_directory_fails_fast(capsys):
+    code, _, err = run(
+        capsys, "study", "--sizes", "128", "--threads", "1",
+        "--execute-max-n", "0", "--no-verify",
+        "--checkpoint", "/no/such/dir/journal.jsonl",
+    )
+    assert code == 2
+    assert "directory does not exist" in err
+
+
 def test_sparse_trace_flag(capsys, tmp_path):
     out_path = tmp_path / "sparse_trace.json"
     code, out, _ = run(

@@ -24,6 +24,15 @@ and the trace-driven cache simulator:
     algorithm instances per pass, so subtree-template memos start
     cold), plus ``tracemalloc`` peak lowering memory at the largest
     problem size for both representations.
+``study_parallel``
+    Parallel-study dispatch: per-cell bytes crossing the pickle
+    boundary under the shared-memory transport (an
+    ``ArenaDescriptor``) versus the pickling transport (the arena's
+    columns), at the largest benchmarked size — plus the wall time of
+    a small parallel study under each transport.  The gated
+    ``bytes_ratio`` (pickled column bytes / descriptor bytes) is the
+    communication-avoidance headline: it must stay >= 100x at
+    n >= 1024.
 
 Host wall-clock numbers are machine-specific, so the regression gate
 compares *ratios* (reference/fast, cold/hit), which are stable across
@@ -65,6 +74,7 @@ GATED = {
     "matrix_cost": "ratio",
     "lowering_cache": "ratio",
     "graph_build": "ratio",
+    "study_parallel": "bytes_ratio",
 }
 #: Allowed regression before the gate fails (fraction of baseline).
 TOLERANCE = 0.25
@@ -128,10 +138,14 @@ def bench_lowering_cache(machine, n: int, repeats: int) -> dict:
     cache = BuildCache()
     cold = _best_of(lambda: alg.build(n, 4, seed=0, execute=False), repeats)
     alg.build_cached(n, 4, seed=0, execute=False, cache=cache)  # warm
-    hit = _best_of(
-        lambda: alg.build_cached(n, 4, seed=0, execute=False, cache=cache),
-        max(repeats, 5),
-    )
+
+    # A cache hit is sub-microsecond — below what one perf_counter pair
+    # resolves reliably — so time a batch of hits per sample.
+    def hit_batch():
+        for _ in range(100):
+            alg.build_cached(n, 4, seed=0, execute=False, cache=cache)
+
+    hit = _best_of(hit_batch, max(repeats, 5)) / 100
     return {
         "n": n,
         "cold_ms": cold * 1e3,
@@ -202,6 +216,51 @@ def bench_graph_build(
         if out["arena_peak_mb"] > 0
         else float("inf")
     )
+    return out
+
+
+def bench_study_parallel(machine, sizes: tuple[int, ...], workers: int = 2) -> dict:
+    """Parallel-study dispatch overhead: shm descriptors vs pickling.
+
+    ``pickle_bytes``/``descriptor_bytes`` measure what one cell of the
+    largest benchmarked size actually ships across the process-pool
+    pickle boundary under each transport; ``bytes_ratio`` is their
+    quotient (gated — the whole point of the shm transport is that it
+    stays large and grows with n).  ``shm_s``/``pickle_s`` time a small
+    cost-only parallel study end to end under each forced transport.
+    """
+    import pickle
+
+    from repro.core.study import _ShmBuild
+    from repro.runtime.shm import ArenaPool
+
+    n_big = max(sizes)
+    alg = StrassenWinograd(machine)
+    build = alg.build_arena(n_big, 4)
+    arena = build.graph
+    out = {"n": n_big, "pickle_bytes": len(pickle.dumps(arena))}
+    with ArenaPool() as pool:
+        descriptor = arena.to_shm(pool)
+        shipped = _ShmBuild(
+            descriptor=descriptor,
+            n=build.n,
+            variant=build.variant,
+            cutoff=build.cutoff,
+        )
+        out["descriptor_bytes"] = len(pickle.dumps(shipped))
+    out["bytes_ratio"] = out["pickle_bytes"] / out["descriptor_bytes"]
+
+    bench_sizes = tuple(s for s in sizes if s <= 1024) or (min(sizes),)
+    cfg = StudyConfig(sizes=bench_sizes, execute_max_n=0, verify=False)
+    for transport in ("shm", "pickle"):
+        study = EnergyPerformanceStudy(
+            machine, config=cfg, _engine=Engine(machine, engine="fast")
+        )
+        t0 = time.perf_counter()
+        result = study._run(workers, transport=transport)
+        out[f"{transport}_s"] = time.perf_counter() - t0
+        out["cells"] = len(result.runs)
+    out["workers"] = workers
     return out
 
 
@@ -281,6 +340,7 @@ def run_suite(smoke: bool) -> dict:
         "lowering_cache": bench_lowering_cache(machine, cache_n, repeats),
         "cache_sim64k": bench_cache_sim(repeats),
         "graph_build": bench_graph_build(machine, sizes, repeats),
+        "study_parallel": bench_study_parallel(machine, sizes),
         "trace_overhead": bench_trace_overhead(machine, repeats, sizes),
     }
 
