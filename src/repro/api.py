@@ -44,6 +44,8 @@ from .observability import trace as _trace
 from .observability.export import metrics_table, phase_table, write_trace_json
 from .observability.metrics import registry as _registry
 from .observability.trace import Tracer
+from .service.cells import StudyRequest
+from .service.service import ServiceConfig, StudyService
 from .sim.engine import Engine
 from .sim.measurement import RunMeasurement
 from .util.errors import ConfigurationError
@@ -57,10 +59,13 @@ __all__ = [
     "PAPER_THREADS",
     "RunMeasurement",
     "RunOptions",
+    "ServiceConfig",
     "Study",
     "StudyConfig",
+    "StudyRequest",
     "StudyResult",
     "StudyRun",
+    "StudyService",
     "TRANSPORTS",
     "dual_socket_haswell",
     "generic_smp",
@@ -288,6 +293,53 @@ class Study:
         if not isinstance(opts.trace, bool):
             run.write_trace(opts.trace)
         return run
+
+    def request(self) -> StudyRequest:
+        """This study's matrix as a service :class:`StudyRequest`.
+
+        The request covers the configured algorithm names (or the
+        paper's set), sizes, threads, seed and execute bound — so
+        ``service.query(study.request())`` answers exactly the grid
+        ``study.run()`` would compute.
+        """
+        if self.algorithms is not None:
+            names = tuple(a.name for a in self.algorithms)
+        else:
+            from .algorithms.registry import paper_algorithms
+
+            names = tuple(a.name for a in paper_algorithms(self.machine))
+        return StudyRequest(
+            algorithms=names,
+            sizes=self.config.sizes,
+            threads=self.config.threads,
+            seed=self.config.seed,
+            execute_max_n=self.config.execute_max_n,
+        )
+
+    def serve(
+        self,
+        store: "str | Path | None" = None,
+        *,
+        config: ServiceConfig | None = None,
+        workers: int | None = None,
+    ) -> StudyService:
+        """A :class:`StudyService` over this study's machine.
+
+        The service answers arbitrary requests, not just this study's
+        matrix; construction here just pins the machine (and hence the
+        content-address domain).  ``workers`` is a convenience override
+        of ``config.workers``.  Close the returned service (it is an
+        async context manager) when done::
+
+            async with Study(sizes=(512,)).serve(store="cells/") as svc:
+                response = await svc.query(svc_request)
+        """
+        cfg = config if config is not None else ServiceConfig(
+            verify=self.config.verify
+        )
+        if workers is not None:
+            cfg = replace(cfg, workers=workers)
+        return StudyService(machine=self.machine, store=store, config=cfg)
 
 
 def _study_wall_s(tracer: Tracer) -> float:

@@ -294,6 +294,78 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        engine=args.engine,
+        workers=args.workers,
+        transport=args.transport,
+        verify=not args.no_verify,
+    )
+    print(f"serving on {args.socket} (store: {args.store or 'none'})", flush=True)
+    asyncio.run(
+        serve(
+            args.socket,
+            store=args.store,
+            machine=machine_from_args(args),
+            config=config,
+        )
+    )
+    print("service shut down")
+    return 0
+
+
+def cmd_query(args) -> int:
+    from .service import ServiceClient, StudyRequest
+
+    with ServiceClient(args.socket, timeout=args.timeout) as client:
+        if args.stats:
+            stats = client.stats()
+            table = TextTable(["metric", "value"], ndigits=6)
+            for name in sorted(stats):
+                table.add_row(name, stats[name])
+            print(emit(table, get_format(args)))
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("sent shutdown")
+            return 0
+        request = StudyRequest(
+            algorithms=tuple(args.algorithms),
+            sizes=tuple(args.sizes),
+            threads=tuple(args.threads),
+            seed=args.seed,
+            execute_max_n=args.execute_max_n,
+        )
+        reply = client.query(request)
+    sources = reply["sources"]
+    table = TextTable(
+        ["algorithm", "n", "threads", "time (s)", "package J", "avg W", "source"],
+        ndigits=6,
+    )
+    for cell in reply["cells"]:
+        table.add_row(
+            cell["algorithm"],
+            cell["n"],
+            cell["threads"],
+            cell["elapsed_s"],
+            cell["energy_package_j"],
+            cell["avg_power_w"],
+            cell["source"],
+        )
+    print(emit(table, get_format(args)))
+    total = len(reply["cells"])
+    print(
+        f"cells: {total} (store {sources.get('store', 0)}, "
+        f"computed {sources.get('computed', 0)}, "
+        f"deduped {sources.get('inflight', 0)})"
+    )
+    return 0
+
+
 def cmd_trace(args) -> int:
     from .algorithms import make_algorithm
     from .reporting import render_gantt, write_chrome_trace
@@ -405,6 +477,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail unless this check family ran at least once "
                    "(repeatable; e.g. --require arena_lowering)")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the study service on a unix socket (content-addressed "
+        "result store, request dedup, batched computes)",
+    )
+    _add_machine_args(p)
+    p.add_argument("--socket", required=True, help="unix socket path to listen on")
+    p.add_argument("--store", default=None,
+                   help="result-store directory (omit for in-memory only)")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="fan batches across N worker processes (0 = in-process)")
+    p.add_argument("--engine", choices=("fast", "reference"), default="fast")
+    p.add_argument("--transport", choices=("auto", "shm", "pickle"), default=None,
+                   help="arena transport for pooled batches")
+    p.add_argument("--no-verify", action="store_true")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("query", help="query a running study service")
+    add_format_arg(p)
+    p.add_argument("--socket", required=True, help="unix socket of the service")
+    p.add_argument("--algorithms", nargs="+", default=["openblas", "strassen", "caps"])
+    p.add_argument("--sizes", type=int, nargs="+", default=[256, 512])
+    p.add_argument("--threads", type=int, nargs="+", default=[1, 2, 3, 4])
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument("--execute-max-n", type=int, default=512)
+    p.add_argument("--timeout", type=float, default=300.0)
+    p.add_argument("--stats", action="store_true",
+                   help="print the service's counter dashboard and exit")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the service to shut down and exit")
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("trace", help="schedule one algorithm and export a trace")
     _add_machine_args(p)

@@ -66,6 +66,8 @@ __all__ = [
     "ArenaPool",
     "attach_arena",
     "detach_arena",
+    "record_fallback",
+    "reset_fallback_warning",
     "shm_available",
 ]
 
@@ -157,6 +159,20 @@ def record_fallback(reason: str) -> None:
             RuntimeWarning,
             stacklevel=3,
         )
+
+
+def reset_fallback_warning() -> None:
+    """Re-arm the once-per-process fallback warning.
+
+    The warn-once latch is process-global, so without a reset a single
+    early fallback silences the warning for every later study in the
+    same process — and, worse, leaks *between tests*: whichever test
+    first triggers a fallback decides whether every later test sees
+    the warning.  Long-lived processes (the study service, pytest)
+    call this at unit-of-work boundaries; the counter is unaffected.
+    """
+    global _fallback_warned
+    _fallback_warned = False
 
 
 # ---------------------------------------------------------------------------

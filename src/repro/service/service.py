@@ -1,0 +1,330 @@
+"""The asyncio study-service front-end.
+
+:class:`StudyService` turns the one-shot study driver into a
+long-running query service:
+
+* **Split** — a :class:`~repro.service.cells.StudyRequest` becomes cell
+  specs in serial (table) order; cells, not requests, are the unit of
+  work.
+* **Hot path** — a cell whose content key
+  (:func:`~repro.core.resultstore.cell_key`) is in the
+  :class:`~repro.core.resultstore.ResultStore` is answered immediately
+  from the store (sub-millisecond; the ``study_service`` bench section
+  gates it).
+* **Single flight** — concurrent requests for the same cold cell share
+  one in-flight computation: the first requester enqueues the cell,
+  every later one awaits the same future (``service.cells_deduped``).
+* **Batch** — cold cells accumulate briefly (``batch_window_s``, or
+  until ``batch_max_cells``) so overlapping requests coalesce into one
+  executor batch, which runs off-loop in a worker thread and — with
+  ``workers > 1`` — fans out over the process pool with shm transport.
+* **Write-back** — computed cells are persisted before their futures
+  resolve, so a re-query is a store hit even across service restarts.
+
+Consistency guarantee: a served cell is *bit-identical* to the same
+cell freshly computed by a serial
+:class:`~repro.core.study.EnergyPerformanceStudy` run — the executor
+runs the study's own ``_run_cell``, the store round-trips measurements
+through the journal's bit-exact pickle encoding, and
+:meth:`StudyResponse.replay_msr` reproduces the serial MSR stream.
+The ``study_service`` verify family (``python -m repro verify
+--require study_service``) enforces all three.
+
+Fault policy (see ``tests/service/test_service_faults.py``): worker
+crashes degrade to in-process recompute; a cancelled client detaches
+without killing the shared computation (``asyncio.shield``); corrupt
+store entries read as misses and are recomputed and overwritten.
+Every degradation bumps a counter; none can produce a wrong answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from ..core.resultstore import ResultStore, cell_key, machine_fingerprint
+from ..core.study import TRANSPORTS
+from ..machine.specs import MachineSpec, haswell_e3_1225
+from ..observability import trace
+from ..observability.metrics import counter, registry
+from ..sim.engine import Engine
+from ..util.errors import ConfigurationError
+from .cells import CellResult, CellSpec, StudyRequest, StudyResponse
+from .executor import CellExecutor
+
+__all__ = ["ServiceConfig", "StudyService"]
+
+_REQUESTS = counter(
+    "service.requests", description="study requests accepted by the service"
+)
+_CELLS_REQUESTED = counter(
+    "service.cells_requested", description="cells asked of the service"
+)
+_CELLS_DEDUPED = counter(
+    "service.cells_deduped",
+    description="requested cells that attached to an identical in-flight "
+    "computation instead of triggering their own",
+)
+_CELLS_COMPUTED = counter(
+    "service.cells_computed", description="cells freshly simulated by the service"
+)
+_CANCELLED = counter(
+    "service.cancelled_waits",
+    description="client waits cancelled mid-flight (the shared computation "
+    "continues)",
+)
+
+#: Counter/metric name prefixes that make up the service ops dashboard.
+_DASHBOARD_PREFIXES = ("service.", "store.", "study.", "shm.")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`StudyService`.
+
+    ``workers=0`` computes batches inline in the executor thread (the
+    deterministic default); ``workers > 1`` fans batches over a
+    process pool with the study's shm transport.  ``batch_window_s``
+    is how long a cold cell waits for company before its batch
+    dispatches — long enough to coalesce a burst of overlapping
+    requests, far below human-visible latency.
+    """
+
+    engine: str = "fast"
+    workers: int = 0
+    transport: str | None = None
+    verify: bool = True
+    batch_max_cells: int = 64
+    batch_window_s: float = 0.002
+    cache_entries: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
+        if self.batch_max_cells < 1:
+            raise ConfigurationError(
+                f"batch_max_cells must be >= 1, got {self.batch_max_cells}"
+            )
+        if self.batch_window_s < 0:
+            raise ConfigurationError(
+                f"batch_window_s must be >= 0, got {self.batch_window_s}"
+            )
+        if self.transport is not None and self.transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {TRANSPORTS} (or None), "
+                f"got {self.transport!r}"
+            )
+
+
+class StudyService:
+    """Async batched EP-study server over one machine spec.
+
+    Use as an async context manager (or call :meth:`close` yourself)::
+
+        async with StudyService(store="cells/") as svc:
+            response = await svc.query(StudyRequest(("caps",), (512,)))
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec | None = None,
+        store: "ResultStore | str | Path | None" = None,
+        config: ServiceConfig | None = None,
+        *,
+        engine: "str | Engine | None" = None,
+    ):
+        self.machine = machine if machine is not None else haswell_e3_1225()
+        self.config = config or ServiceConfig()
+        if isinstance(store, (str, Path)):
+            store = ResultStore(store, cache_entries=self.config.cache_entries)
+        self.store = store
+        self._executor = CellExecutor(
+            self.machine,
+            engine=engine if engine is not None else self.config.engine,
+            workers=self.config.workers,
+            transport=self.config.transport,
+            verify=self.config.verify,
+        )
+        #: Cached so hot-path key derivation skips re-hashing the spec.
+        self._machine_fp = machine_fingerprint(self.machine)
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._pending: list[tuple[CellSpec, str, asyncio.Future]] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._batch_lock = asyncio.Lock()
+        self._closed = False
+
+    # ---- lifecycle -----------------------------------------------------
+
+    async def __aenter__(self) -> "StudyService":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        await self.close()
+        return False
+
+    async def close(self) -> None:
+        """Flush pending work, wait for in-flight batches, shut down."""
+        self._closed = True
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if self._pending:
+            self._flush()
+        while self._batch_tasks:
+            await asyncio.gather(*tuple(self._batch_tasks), return_exceptions=True)
+        self._executor.close()
+
+    # ---- queries -------------------------------------------------------
+
+    def key_for(self, spec: CellSpec) -> str:
+        """The content address this service uses for *spec*."""
+        return cell_key(
+            self._machine_fp,
+            spec.algorithm,
+            spec.n,
+            spec.threads,
+            seed=spec.seed,
+            execute=spec.execute,
+            engine=self._executor.engine_name,
+        )
+
+    async def query(self, request: StudyRequest) -> StudyResponse:
+        """Answer a whole study grid; cells come back in serial order."""
+        if self._closed:
+            raise ConfigurationError("service is closed")
+        _REQUESTS.add()
+        with trace.span(
+            "service.request",
+            algorithms=list(request.algorithms),
+            sizes=list(request.sizes),
+            threads=list(request.threads),
+        ):
+            results = await asyncio.gather(
+                *(self.query_cell(spec) for spec in request.cells())
+            )
+        return StudyResponse(request=request, cells=list(results))
+
+    async def query_cell(self, spec: CellSpec) -> CellResult:
+        """Answer one cell: store hit, in-flight attach, or fresh compute."""
+        if self._closed:
+            raise ConfigurationError("service is closed")
+        _CELLS_REQUESTED.add()
+        key = self.key_for(spec)
+
+        future = self._inflight.get(key)
+        if future is not None:
+            _CELLS_DEDUPED.add()
+            measurement = await self._wait(future)
+            return CellResult(spec, key, measurement, "inflight")
+
+        if self.store is not None:
+            measurement = self.store.get(key)
+            if measurement is not None:
+                return CellResult(spec, key, measurement, "store")
+
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._inflight[key] = future
+        self._pending.append((spec, key, future))
+        self._schedule_flush(loop)
+        measurement = await self._wait(future)
+        return CellResult(spec, key, measurement, "computed")
+
+    async def _wait(self, future: asyncio.Future):
+        """Await a shared cell future without owning it: cancelling the
+        *caller* must not cancel the computation other clients (and the
+        store write-back) depend on."""
+        try:
+            return await asyncio.shield(future)
+        except asyncio.CancelledError:
+            if not future.cancelled():
+                _CANCELLED.add()
+            raise
+
+    # ---- batching ------------------------------------------------------
+
+    def _schedule_flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        if len(self._pending) >= self.config.batch_max_cells:
+            if self._flush_handle is not None:
+                self._flush_handle.cancel()
+                self._flush_handle = None
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(
+                self.config.batch_window_s, self._flush_timer
+            )
+
+    def _flush_timer(self) -> None:
+        self._flush_handle = None
+        self._flush()
+
+    def _flush(self) -> None:
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        task = asyncio.get_event_loop().create_task(self._run_batch(batch))
+        self._batch_tasks.add(task)
+        task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(
+        self, batch: list[tuple[CellSpec, str, asyncio.Future]]
+    ) -> None:
+        """Compute one batch off-loop and resolve its futures.
+
+        The batch lock serialises executor access (algorithm build
+        caches and the worker pool are shared); batches therefore
+        complete in dispatch order, and every resolved cell is already
+        persisted, so attached waiters and re-queries agree.
+        """
+        specs = [spec for spec, _, _ in batch]
+        try:
+            async with self._batch_lock:
+                results = await asyncio.to_thread(self._executor.compute, specs)
+        except BaseException as exc:
+            for _, key, future in batch:
+                self._inflight.pop(key, None)
+                if not future.done():
+                    future.set_exception(exc)
+            # Don't let "nobody awaited us yet" turn into an unhandled-
+            # exception log: the futures carry the error to clients.
+            for _, _, future in batch:
+                if future.done() and not future.cancelled():
+                    future.exception()
+            return
+        for spec, key, future in batch:
+            measurement = results[spec]
+            if self.store is not None:
+                self.store.put(
+                    key,
+                    measurement,
+                    meta={
+                        "machine": self.machine.name,
+                        "algorithm": spec.algorithm,
+                        "n": spec.n,
+                        "threads": spec.threads,
+                        "seed": spec.seed,
+                        "execute": spec.execute,
+                        "engine": self._executor.engine_name,
+                    },
+                )
+            _CELLS_COMPUTED.add()
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_result(measurement)
+
+    # ---- introspection -------------------------------------------------
+
+    def display_names(self, names: Iterable[str]) -> dict[str, str]:
+        return self._executor.display_names(tuple(names))
+
+    def stats(self) -> dict[str, float]:
+        """The service ops dashboard: every ``service.*``, ``store.*``,
+        ``study.*`` and ``shm.*`` counter/gauge value, by name."""
+        out: dict[str, float] = {}
+        for metric in registry():
+            if metric.name.startswith(_DASHBOARD_PREFIXES):
+                out[metric.name] = metric.value
+        return out

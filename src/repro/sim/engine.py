@@ -34,7 +34,14 @@ from ..util.errors import ConfigurationError
 from ..util.validation import require_positive
 from .measurement import RunMeasurement
 
-__all__ = ["Engine"]
+__all__ = ["ENGINE_VERSION", "Engine"]
+
+#: Version of the simulation semantics (event kernels, energy model
+#: integration, measurement assembly).  The content-addressed result
+#: store (:mod:`repro.core.resultstore`) folds this into every cell
+#: key, so bumping it orphans all cached results — do so whenever a
+#: change makes previously simulated numbers non-reproducible.
+ENGINE_VERSION = 1
 
 
 class Engine:

@@ -46,7 +46,11 @@ from .invariants import (
     check_ep_scaling,
     check_measurement,
 )
-from .oracle import differential_engine_check, differential_study_check
+from .oracle import (
+    differential_engine_check,
+    differential_service_check,
+    differential_study_check,
+)
 from .faults import FaultyMsr, check_fault_modes
 from .harness import Counterexample, VerifyReport, run_verify, verify_case
 
@@ -64,6 +68,7 @@ __all__ = [
     "check_fault_modes",
     "check_measurement",
     "differential_engine_check",
+    "differential_service_check",
     "differential_study_check",
     "gen_algorithm_case",
     "gen_graph_case",

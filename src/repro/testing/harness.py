@@ -58,6 +58,7 @@ from .invariants import (
 from .oracle import (
     differential_engine_check,
     differential_lowering_check,
+    differential_service_check,
     differential_study_check,
 )
 
@@ -199,6 +200,7 @@ def run_verify(
     lowering_every: int = 10,
     scaling_every: int = 25,
     study_every: int = 50,
+    service_every: int = 100,
     progress: Callable[[str], None] | None = None,
     mutator: Callable[[RunMeasurement], RunMeasurement] | None = None,
 ) -> VerifyReport:
@@ -273,6 +275,14 @@ def run_verify(
                 case_seed,
                 differential_study_check(case_seed),
                 f"serial-vs-parallel study matrix (seed {case_seed})",
+            )
+        if i % service_every == 0:
+            tick("study_service")
+            record(
+                "study_service",
+                case_seed,
+                differential_service_check(case_seed),
+                f"served-vs-serial study matrix (seed {case_seed})",
             )
         if progress is not None and (i + 1) % 25 == 0:
             progress(f"{i + 1}/{cases} cases, {len(report.counterexamples)} failures")

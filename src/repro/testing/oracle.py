@@ -36,6 +36,7 @@ __all__ = [
     "compare_schedules",
     "differential_engine_check",
     "differential_lowering_check",
+    "differential_service_check",
     "differential_study_check",
 ]
 
@@ -349,6 +350,114 @@ def differential_study_check(
                     "oracle.study_msr",
                     f"{plane} counter diverged: serial {ca:#x} vs "
                     f"parallel {cb:#x}",
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# study service vs serial study
+
+
+def differential_service_check(
+    seed: int, config: StudyConfig | None = None, workers: int = 2
+) -> list[Violation]:
+    """Serve one randomized study matrix and demand bit-identity with a
+    fresh serial run — cold, deduped, and store-served alike.
+
+    The drive is three passes over the same grid against one persistent
+    store: two *concurrent* identical queries on a fresh service
+    (single-flight dedup must make every unique cell compute exactly
+    once, with ``workers`` exercising the pool + shm path), then one
+    query on a *new* service over the same store directory (a simulated
+    restart — every cell must come back ``"store"``).  Every
+    measurement from every pass must match the serial oracle's floats
+    exactly, and replaying the hot response's plane energies must
+    reproduce the serial run's MSR counters bit-for-bit.
+    """
+    import asyncio
+    import tempfile
+
+    from ..observability.metrics import registry
+    from ..service import ServiceConfig, StudyRequest, StudyService
+
+    out: list[Violation] = []
+    config = config or gen_study_config(seed)
+    machine = haswell_e3_1225()
+
+    msr_serial = MsrFile()
+    serial = EnergyPerformanceStudy(
+        machine, config=config, _engine=Engine(machine, msr=msr_serial)
+    )._run(None)
+
+    request = StudyRequest(
+        algorithms=tuple(serial.algorithm_names),
+        sizes=config.sizes,
+        threads=config.threads,
+        seed=config.seed,
+        execute_max_n=config.execute_max_n,
+    )
+    svc_config = ServiceConfig(workers=workers, verify=config.verify)
+
+    async def drive(store: str):
+        async with StudyService(machine=machine, store=store, config=svc_config) as svc:
+            cold_a, cold_b = await asyncio.gather(
+                svc.query(request), svc.query(request)
+            )
+        # A brand-new service over the same store: a simulated restart.
+        async with StudyService(machine=machine, store=store, config=svc_config) as svc:
+            hot = await svc.query(request)
+        return cold_a, cold_b, hot
+
+    snap = registry().snapshot()
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_a, cold_b, hot = asyncio.run(drive(tmp))
+    delta = registry().delta_since(snap)
+
+    unique = len(request.cells())
+    computed = int(delta.get("service.cells_computed", 0))
+    if computed != unique:
+        out.append(
+            Violation(
+                "oracle.service_dedup",
+                f"two concurrent identical queries computed {computed} "
+                f"cells; single-flight dedup demands exactly {unique}",
+            )
+        )
+    bad_hot = [c.spec.describe() for c in hot.cells if c.source != "store"]
+    if bad_hot:
+        out.append(
+            Violation(
+                "oracle.service_store",
+                f"restarted service recomputed persisted cells: {bad_hot}",
+            )
+        )
+
+    for label, response in (("cold_a", cold_a), ("cold_b", cold_b), ("hot", hot)):
+        for cell in response.cells:
+            key = (cell.spec.algorithm, cell.spec.n, cell.spec.threads)
+            a = _measurement_fields(serial.runs[key])
+            b = _measurement_fields(cell.measurement)
+            if a != b:
+                out.append(
+                    Violation(
+                        "oracle.service_bits",
+                        f"{label} cell {key} ({cell.source}): "
+                        f"serial {a} != served {b}",
+                    )
+                )
+                break  # one diverged cell per pass keeps reports short
+
+    msr_replayed = MsrFile()
+    hot.replay_msr(msr_replayed)
+    for plane, addr in PLANE_MSR.items():
+        ca, cb = msr_serial.read(addr), msr_replayed.read(addr)
+        if ca != cb:
+            out.append(
+                Violation(
+                    "oracle.service_msr",
+                    f"{plane} counter diverged: serial {ca:#x} vs "
+                    f"served replay {cb:#x}",
                 )
             )
     return out

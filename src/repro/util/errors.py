@@ -20,6 +20,7 @@ __all__ = [
     "CounterCorruptionError",
     "StudyCellError",
     "CalibrationError",
+    "ServiceError",
 ]
 
 
@@ -90,3 +91,8 @@ class StudyCellError(SimulationError):
 class CalibrationError(ReproError):
     """Energy-model calibration failed to converge or received
     inconsistent targets."""
+
+
+class ServiceError(ReproError):
+    """The study service returned an error reply, or the client could
+    not reach its socket at all."""

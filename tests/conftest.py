@@ -23,6 +23,21 @@ def engine(machine):
     return Engine(machine)
 
 
+@pytest.fixture(autouse=True)
+def _fresh_fallback_warning():
+    """Isolate the shm fallback warn-once latch between tests.
+
+    The latch is process-global: without this reset, whichever test
+    first triggers a fallback would silence the warning for every
+    later test and make warning assertions order-dependent.
+    """
+    from repro.runtime.shm import reset_fallback_warning
+
+    reset_fallback_warning()
+    yield
+    reset_fallback_warning()
+
+
 # Hypothesis profiles: default stays fast; REPRO_THOROUGH=1 widens the
 # search for nightly-style runs.
 import os

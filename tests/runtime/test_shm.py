@@ -216,6 +216,23 @@ def test_record_fallback_warns_once_and_counts(monkeypatch):
     assert shm_mod._SHM_FALLBACKS.value == before + 2
 
 
+def test_reset_fallback_warning_rearms_the_latch():
+    """Regression: the warn-once latch is process-global state.  Before
+    the reset hook existed, one early fallback silenced the warning for
+    every later study in the process (and leaked between tests);
+    reset_fallback_warning() must re-arm it without touching the
+    counter."""
+    before = shm_mod._SHM_FALLBACKS.value
+    with pytest.warns(RuntimeWarning, match="falling back to pickling"):
+        shm_mod.record_fallback("first unit of work")
+    assert shm_mod._fallback_warned is True
+    shm_mod.reset_fallback_warning()
+    assert shm_mod._fallback_warned is False
+    with pytest.warns(RuntimeWarning, match="falling back to pickling"):
+        shm_mod.record_fallback("next unit of work")
+    assert shm_mod._SHM_FALLBACKS.value == before + 2
+
+
 def test_auto_transport_falls_back_when_unavailable(machine, monkeypatch):
     """transport='auto' on a host without shared memory must run the
     pickling path (warning once, counting the fallback) and still

@@ -1,0 +1,201 @@
+"""The unix-socket JSON-lines front door: round-trips, protocol errors,
+multi-client sharing, shutdown, and the CLI entry points."""
+
+import asyncio
+import json
+import socket as socket_mod
+import threading
+import time
+
+import pytest
+
+from repro.service import CellSpec, ServiceClient, StudyRequest, serve
+from repro.util.errors import ServiceError
+
+
+@pytest.fixture()
+def server(machine, tmp_path):
+    """A served socket in a background thread; yields the socket path."""
+    sock = tmp_path / "svc.sock"
+    store = tmp_path / "cells"
+    done = threading.Thread(
+        target=lambda: asyncio.run(serve(sock, store=store, machine=machine)),
+        daemon=True,
+    )
+    done.start()
+    deadline = time.monotonic() + 10
+    while not sock.exists():
+        if time.monotonic() > deadline:  # pragma: no cover - hang guard
+            raise RuntimeError("server socket never appeared")
+        time.sleep(0.01)
+    yield str(sock)
+    if sock.exists():
+        try:
+            with ServiceClient(sock) as c:
+                c.shutdown()
+        except (ServiceError, OSError):
+            pass
+    done.join(timeout=10)
+
+
+def test_ping_query_stats_roundtrip(server):
+    with ServiceClient(server) as client:
+        assert client.ping()
+        req = StudyRequest(("caps",), (64,), threads=(1, 2), execute_max_n=64)
+        reply = client.query(req)
+        assert reply["sources"] == {"store": 0, "computed": 2, "inflight": 0}
+        assert len(reply["cells"]) == 2
+        for cell in reply["cells"]:
+            assert cell["algorithm"] == "caps"
+            assert cell["elapsed_s"] > 0
+            assert cell["energy_package_j"] > 0
+        again = client.query(req)
+        assert again["sources"] == {"store": 2, "computed": 0, "inflight": 0}
+        # JSON floats round-trip bit-exactly (repr-based encoding).
+        for a, b in zip(reply["cells"], again["cells"]):
+            assert a["elapsed_s"] == b["elapsed_s"]
+            assert a["energy_package_j"] == b["energy_package_j"]
+        stats = client.stats()
+        assert stats["service.requests"] >= 2
+        assert stats["store.hits"] >= 2
+
+
+def test_single_cell_op(server):
+    with ServiceClient(server) as client:
+        spec = CellSpec("openblas", 64, 1, execute=True)
+        first = client.query_cell(spec)
+        assert first["source"] == "computed"
+        second = client.query_cell(spec)
+        assert second["source"] == "store"
+        assert first["elapsed_s"] == second["elapsed_s"]
+
+
+def test_two_clients_share_one_store(server):
+    req = StudyRequest(("openblas",), (64,), threads=(1,), execute_max_n=64)
+    with ServiceClient(server) as a:
+        a.query(req)
+    with ServiceClient(server) as b:
+        reply = b.query(req)
+    assert reply["sources"]["store"] == 1
+
+
+def test_protocol_errors_are_replies_not_disconnects(server):
+    with ServiceClient(server) as client:
+        with pytest.raises(ServiceError, match="unknown op"):
+            client.request({"op": "frobnicate"})
+        # The connection survives an error reply.
+        assert client.ping()
+        with pytest.raises(ServiceError):
+            client.request({"op": "query", "request": {"sizes": []}})
+        assert client.ping()
+
+
+def test_connect_failure_is_a_typed_error(tmp_path):
+    with pytest.raises(ServiceError, match="cannot connect"):
+        ServiceClient(tmp_path / "no-such.sock")
+
+
+def test_malformed_json_line(server):
+    raw = socket_mod.socket(socket_mod.AF_UNIX, socket_mod.SOCK_STREAM)
+    raw.settimeout(30)
+    raw.connect(server)
+    try:
+        f = raw.makefile("rwb")
+        f.write(b"this is not json\n")
+        f.flush()
+        reply = json.loads(f.readline())
+        assert reply["ok"] is False
+        f.write(b'"a json string, not an object"\n')
+        f.flush()
+        reply = json.loads(f.readline())
+        assert reply["ok"] is False
+        assert "object" in reply["error"]
+    finally:
+        raw.close()
+
+
+def test_shutdown_removes_socket(machine, tmp_path):
+    sock = tmp_path / "svc.sock"
+    t = threading.Thread(
+        target=lambda: asyncio.run(serve(sock, machine=machine)), daemon=True
+    )
+    t.start()
+    deadline = time.monotonic() + 10
+    while not sock.exists():
+        time.sleep(0.01)
+        assert time.monotonic() < deadline
+    with ServiceClient(sock) as client:
+        client.shutdown()
+    t.join(timeout=10)
+    assert not t.is_alive()
+    assert not sock.exists()
+
+
+# ---------------------------------------------------------------------------
+# CLI entry points
+
+
+def test_cli_serve_and_query(machine, tmp_path, capsys):
+    from repro.cli import main
+
+    sock = tmp_path / "svc.sock"
+    store = tmp_path / "cells"
+    t = threading.Thread(
+        target=main,
+        args=(["serve", "--socket", str(sock), "--store", str(store)],),
+        daemon=True,
+    )
+    t.start()
+    deadline = time.monotonic() + 10
+    while not sock.exists():
+        time.sleep(0.01)
+        assert time.monotonic() < deadline
+
+    args = ["query", "--socket", str(sock), "--algorithms", "caps",
+            "--sizes", "64", "--threads", "1", "2", "--execute-max-n", "64"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "cells: 2 (store 0, computed 2, deduped 0)" in out
+
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "cells: 2 (store 2, computed 0, deduped 0)" in out
+
+    assert main(["query", "--socket", str(sock), "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "store.hits" in out
+
+    assert main(["query", "--socket", str(sock), "--shutdown"]) == 0
+    t.join(timeout=10)
+    assert not t.is_alive()
+
+
+def test_cli_query_errors_are_rc2_one_liners(machine, tmp_path, capsys):
+    """CLI error paths must exit 2 with a one-line `error: ...` on
+    stderr — a raw traceback is a bug (ServiceError is a ReproError)."""
+    from repro.cli import main
+
+    # No socket at all.
+    rc = main(["query", "--socket", str(tmp_path / "nope.sock"), "--stats"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot connect")
+
+    # Server-side rejection travels back as a typed error reply.
+    sock = tmp_path / "svc.sock"
+    t = threading.Thread(
+        target=main, args=(["serve", "--socket", str(sock)],), daemon=True
+    )
+    t.start()
+    deadline = time.monotonic() + 10
+    while not sock.exists():
+        time.sleep(0.01)
+        assert time.monotonic() < deadline
+    rc = main(["query", "--socket", str(sock), "--algorithms", "nosuchalg",
+               "--sizes", "64"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown algorithm" in err
+    assert "Traceback" not in err
+    assert main(["query", "--socket", str(sock), "--shutdown"]) == 0
+    t.join(timeout=10)

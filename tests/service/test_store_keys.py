@@ -1,0 +1,150 @@
+"""Property-based tests of the content-addressed cell key.
+
+The key (:func:`repro.core.resultstore.cell_key`) is the store's whole
+correctness story: two cells share a key **iff** they would simulate to
+the same measurement.  So the key must be *stable* under every
+representation accident (dict ordering, JSON whitespace, machine
+renames, fingerprint-vs-spec calling convention) and must *diverge*
+whenever any physically meaningful input changes — a collision serves
+a wrong answer, an instability wastes the store.
+"""
+
+import dataclasses
+import json
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.resultstore import (
+    canonical_json,
+    cell_key,
+    machine_fingerprint,
+    machine_payload,
+)
+from repro.machine.specs import dual_socket_haswell, haswell_e3_1225
+from repro.testing.generators import gen_machine
+
+ALGORITHMS = ("openblas", "atlas", "strassen", "caps")
+
+cell_args = st.fixed_dictionaries(
+    {
+        "algorithm": st.sampled_from(ALGORITHMS),
+        "n": st.integers(min_value=1, max_value=1 << 14),
+        "threads": st.integers(min_value=1, max_value=64),
+        "seed": st.integers(min_value=0, max_value=2**31),
+        "execute": st.booleans(),
+        "engine": st.sampled_from(("fast", "reference")),
+    }
+)
+
+
+def _key(machine, a):
+    return cell_key(
+        machine,
+        a["algorithm"],
+        a["n"],
+        a["threads"],
+        seed=a["seed"],
+        execute=a["execute"],
+        engine=a["engine"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# stability
+
+
+@given(cell_args, st.integers())
+def test_key_is_deterministic_and_convention_independent(args, mseed):
+    """Same physical inputs → same key, whether the caller passes the
+    spec or its precomputed fingerprint (the service's hot path)."""
+    machine = gen_machine(random.Random(mseed))
+    k1 = _key(machine, args)
+    k2 = _key(machine, args)
+    k3 = _key(machine_fingerprint(machine), args)
+    assert k1 == k2 == k3
+    assert len(k1) == 64 and set(k1) <= set("0123456789abcdef")
+
+
+@given(cell_args)
+def test_key_ignores_machine_name(args):
+    """Renaming a spec is not physically meaningful."""
+    machine = haswell_e3_1225()
+    renamed = dataclasses.replace(machine, name="some other label")
+    assert _key(machine, args) == _key(renamed, args)
+
+
+@given(st.integers())
+def test_fingerprint_stable_under_payload_permutation_and_whitespace(mseed):
+    """The fingerprint hashes canonical JSON: key order and formatting
+    of the underlying dict must not matter."""
+    machine = gen_machine(random.Random(mseed))
+    payload = machine_payload(machine)
+    shuffled_items = list(payload.items())
+    random.Random(mseed ^ 0xC0FFEE).shuffle(shuffled_items)
+    assert canonical_json(dict(shuffled_items)) == canonical_json(payload)
+    # Whitespace/indent choices never reach the hash either: canonical
+    # form is the separators-pinned dump, not whatever a pretty-printer
+    # produced.
+    pretty = json.dumps(payload, indent=2, sort_keys=True)
+    assert canonical_json(json.loads(pretty)) == canonical_json(payload)
+
+
+def test_canonical_json_rejects_unhashable_objects():
+    """Objects without a JSON form must raise, not hash their repr
+    (reprs carry memory addresses — keys would be unstable across
+    processes)."""
+    with pytest.raises(TypeError):
+        canonical_json({"machine": object()})
+
+
+# ---------------------------------------------------------------------------
+# divergence
+
+
+@given(cell_args)
+def test_key_diverges_when_any_field_changes(args):
+    """Flipping any single physically meaningful field must change the
+    key: algorithm, n, threads, seed, execute bound, event kernel."""
+    machine = haswell_e3_1225()
+    base = _key(machine, args)
+    mutations = {
+        "algorithm": next(a for a in ALGORITHMS if a != args["algorithm"]),
+        "n": args["n"] + 1,
+        "threads": args["threads"] + 1,
+        "seed": args["seed"] + 1,
+        "execute": not args["execute"],
+        "engine": "reference" if args["engine"] == "fast" else "fast",
+    }
+    for field, new_value in mutations.items():
+        mutated = {**args, field: new_value}
+        assert _key(machine, mutated) != base, field
+
+
+@given(cell_args)
+def test_key_diverges_across_machines(args):
+    assert _key(haswell_e3_1225(), args) != _key(dual_socket_haswell(), args)
+
+
+@given(st.integers(), st.integers())
+def test_fingerprint_separates_distinct_machines(seed_a, seed_b):
+    """Random machine pairs: equal payloads iff equal fingerprints."""
+    a = gen_machine(random.Random(seed_a))
+    b = gen_machine(random.Random(seed_b))
+    same_payload = machine_payload(a) == machine_payload(b)
+    same_fp = machine_fingerprint(a) == machine_fingerprint(b)
+    assert same_payload == same_fp
+
+
+def test_key_tracks_engine_version(monkeypatch):
+    """Bumping ENGINE_VERSION must orphan every cached entry."""
+    import repro.sim.engine as engine_mod
+
+    machine = haswell_e3_1225()
+    args = dict(algorithm="caps", n=256, threads=4, seed=2015,
+                execute=False, engine="fast")
+    before = _key(machine, args)
+    monkeypatch.setattr(engine_mod, "ENGINE_VERSION", engine_mod.ENGINE_VERSION + 1)
+    assert _key(machine, args) != before

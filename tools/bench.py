@@ -33,6 +33,14 @@ and the trace-driven cache simulator:
     ``bytes_ratio`` (pickled column bytes / descriptor bytes) is the
     communication-avoidance headline: it must stay >= 100x at
     n >= 1024.
+``study_service``
+    The async study service under load: 100 overlapping concurrent
+    requests for the same cost-only grid (single-flight dedup must
+    collapse them to one computation per unique cell), then a burst of
+    sequential hot-cell lookups against the warmed content-addressed
+    store.  Two *absolute* gates: ``dedup_ratio`` (cells requested /
+    cells computed) must stay >= 2x, and ``hot_ms`` (mean store-served
+    lookup) must stay under 1 ms.
 
 Host wall-clock numbers are machine-specific, so the regression gate
 compares *ratios* (reference/fast, cold/hit), which are stable across
@@ -84,6 +92,12 @@ TOLERANCE = 0.25
 #: the disabled path is one global load + ``is None`` test per span
 #: site, so the estimate must stay small on any host.
 OVERHEAD_LIMIT_PCT = 2.0
+
+#: Absolute gates on the study service (no baseline needed): a
+#: store-served cell lookup must average under this many milliseconds,
+#: and overlapping identical requests must dedup at least this much.
+HOT_LOOKUP_LIMIT_MS = 1.0
+DEDUP_FLOOR = 2.0
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -264,6 +278,62 @@ def bench_study_parallel(machine, sizes: tuple[int, ...], workers: int = 2) -> d
     return out
 
 
+def bench_study_service(machine, smoke: bool, requests: int = 100) -> dict:
+    """The service under overlapping load, then hot-lookup latency.
+
+    *requests* identical study queries are launched concurrently on one
+    event loop against a fresh service + store: single-flight dedup
+    must compute each unique cell exactly once (``dedup_ratio`` =
+    requested/computed, gated >= ``DEDUP_FLOOR``).  The grid is
+    cost-only so the benchmark times coordination, not numerics.  With
+    the store warm, a burst of sequential single-cell queries measures
+    the store-served path end to end — key derivation, LRU hit, result
+    assembly — per lookup (``hot_ms``, gated < ``HOT_LOOKUP_LIMIT_MS``).
+    """
+    import asyncio
+    import tempfile
+
+    from repro.observability.metrics import registry
+    from repro.service import StudyRequest, StudyService
+
+    sizes = (128,) if smoke else (256,)
+    req = StudyRequest(
+        ("openblas", "strassen", "caps"), sizes, threads=(1, 2, 3, 4),
+        execute_max_n=0,
+    )
+    specs = req.cells()
+    lookups = 200
+
+    async def drive(store):
+        async with StudyService(machine, store=store) as svc:
+            snap = registry().snapshot()
+            t0 = time.perf_counter()
+            await asyncio.gather(*(svc.query(req) for _ in range(requests)))
+            cold_s = time.perf_counter() - t0
+            delta = registry().delta_since(snap)
+            t0 = time.perf_counter()
+            for i in range(lookups):
+                await svc.query_cell(specs[i % len(specs)])
+            hot_s = time.perf_counter() - t0
+        return cold_s, delta, hot_s
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_s, delta, hot_s = asyncio.run(drive(tmp))
+
+    requested = delta.get("service.cells_requested", 0)
+    computed = delta.get("service.cells_computed", 0)
+    return {
+        "requests": requests,
+        "cells_per_request": len(specs),
+        "cold_s": cold_s,
+        "cells_requested": int(requested),
+        "cells_computed": int(computed),
+        "dedup_ratio": requested / computed if computed else float("inf"),
+        "hot_lookups": lookups,
+        "hot_ms": hot_s / lookups * 1e3,
+    }
+
+
 def bench_trace_overhead(machine, repeats: int, sizes: tuple[int, ...]) -> dict:
     """Estimated cost of *disabled* tracing on the gated sections.
 
@@ -341,6 +411,7 @@ def run_suite(smoke: bool) -> dict:
         "cache_sim64k": bench_cache_sim(repeats),
         "graph_build": bench_graph_build(machine, sizes, repeats),
         "study_parallel": bench_study_parallel(machine, sizes),
+        "study_service": bench_study_service(machine, smoke),
         "trace_overhead": bench_trace_overhead(machine, repeats, sizes),
     }
 
@@ -390,6 +461,33 @@ def gate(current: dict, baseline: dict) -> int:
             failures.append(
                 f"trace_overhead: estimated disabled-tracing overhead "
                 f"{overhead:.3f}% exceeds {OVERHEAD_LIMIT_PCT:.1f}%"
+            )
+    service = current.get("study_service", {})
+    hot_ms = service.get("hot_ms")
+    dedup = service.get("dedup_ratio")
+    if hot_ms is None or dedup is None:
+        failures.append("study_service: missing hot_ms/dedup_ratio")
+    else:
+        status = "ok" if hot_ms <= HOT_LOOKUP_LIMIT_MS else "TOO SLOW"
+        print(
+            f"  {'study_service':20s} hot_ms: {hot_ms:.4f} ms store-served "
+            f"lookup (limit {HOT_LOOKUP_LIMIT_MS:.1f} ms) {status}"
+        )
+        if hot_ms > HOT_LOOKUP_LIMIT_MS:
+            failures.append(
+                f"study_service: hot lookup {hot_ms:.4f} ms exceeds "
+                f"{HOT_LOOKUP_LIMIT_MS:.1f} ms"
+            )
+        status = "ok" if dedup >= DEDUP_FLOOR else "TOO LOW"
+        print(
+            f"  {'study_service':20s} dedup_ratio: {dedup:.1f}x under "
+            f"{service.get('requests', '?')} overlapping requests "
+            f"(floor {DEDUP_FLOOR:.1f}x) {status}"
+        )
+        if dedup < DEDUP_FLOOR:
+            failures.append(
+                f"study_service: dedup ratio {dedup:.1f}x below floor "
+                f"{DEDUP_FLOOR:.1f}x"
             )
     if failures:
         print("\nFAIL:")
