@@ -67,13 +67,32 @@ __all__ = [
     "StudyRun",
     "StudyService",
     "TRANSPORTS",
+    "available_engines",
     "dual_socket_haswell",
     "generic_smp",
     "haswell_e3_1225",
 ]
 
 #: Event kernels :attr:`RunOptions.engine` accepts by name.
-_ENGINES = ("fast", "reference")
+_ENGINES = ("fast", "reference", "compiled")
+
+
+def available_engines() -> dict[str, tuple[bool, str]]:
+    """Probe every event kernel: ``{name: (usable, detail)}``.
+
+    ``reference`` and ``fast`` are pure Python/numpy and always usable;
+    ``compiled`` needs a working C toolchain (or an already-compiled
+    kernel in the JIT cache) and reports *why* when it cannot run.
+    The same probe backs the ``repro engines`` subcommand.
+    """
+    from .runtime.compiledpath import compiled_available
+
+    ok, reason = compiled_available()
+    return {
+        "reference": (True, "scalar oracle (pure Python)"),
+        "fast": (True, "vectorized numpy kernel"),
+        "compiled": (ok, reason if reason else "ready"),
+    }
 
 
 @dataclass(frozen=True)
@@ -83,8 +102,10 @@ class RunOptions:
     Attributes
     ----------
     engine:
-        Event kernel: ``"fast"`` (vectorized, the default) or
-        ``"reference"`` (the scalar differential oracle).  An
+        Event kernel: ``"fast"`` (vectorized, the default),
+        ``"reference"`` (the scalar differential oracle), or
+        ``"compiled"`` (the JIT-compiled C sweep; requires a C
+        toolchain — see :func:`available_engines`).  An
         :class:`~repro.sim.engine.Engine` instance is also accepted
         when the caller needs a custom one (emulated MSR, noise
         wrapper, ...).

@@ -21,6 +21,7 @@ import sys
 from typing import Sequence
 
 from .cliargs import (
+    add_engine_arg,
     add_format_arg,
     add_machine_args,
     add_study_scale_args,
@@ -120,8 +121,14 @@ def cmd_study(args) -> int:
         verify=not args.no_verify,
     )
     snap = metrics_registry().snapshot()
+    engine = args.engine
+    if engine is None:
+        from .runtime.scheduler import default_engine
+
+        engine = default_engine()
     run = study.run(
         RunOptions(
+            engine=engine,
             parallel=args.parallel,
             trace=bool(args.trace),
             transport=args.transport,
@@ -159,6 +166,29 @@ def cmd_study(args) -> int:
         print("phase summary:")
         print(run.phase_summary().to_ascii())
         print(f"wrote chrome://tracing file to {path}")
+    return 0
+
+
+def cmd_engines(args) -> int:
+    from .api import available_engines
+    from .runtime.compiledpath import compiled_cc, jit_cache_dir
+
+    probes = available_engines()
+    table = TextTable(["engine", "usable", "detail"])
+    for name, (ok, detail) in probes.items():
+        table.add_row(name, "yes" if ok else "no", detail)
+    print(emit(table, get_format(args)))
+    print()
+    cc = compiled_cc()
+    print(f"C compiler: {cc if cc else 'none found ($CC, cc, gcc, clang)'}")
+    print(f"JIT cache:  {jit_cache_dir()}")
+    print("numba:      not installed (compiled engine uses a C kernel)")
+    if not probes["compiled"][0]:
+        print()
+        print(
+            "note: --engine compiled would fail; unset/auto configurations "
+            "fall back to 'fast' with identical results."
+        )
     return 0
 
 
@@ -413,8 +443,17 @@ def build_parser() -> argparse.ArgumentParser:
                    "(deterministic; identical results to serial)")
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--figures", action="store_true", help="render ASCII figures too")
+    add_engine_arg(p)
     add_study_scale_args(p)
     p.set_defaults(func=cmd_study)
+
+    p = sub.add_parser(
+        "engines",
+        help="probe which event kernels (reference/fast/compiled) this "
+        "host can run, and why",
+    )
+    add_format_arg(p)
+    p.set_defaults(func=cmd_engines)
 
     p = sub.add_parser("choose", help="algorithm choice under a power cap")
     _add_machine_args(p)
@@ -489,7 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result-store directory (omit for in-memory only)")
     p.add_argument("--workers", type=int, default=0, metavar="N",
                    help="fan batches across N worker processes (0 = in-process)")
-    p.add_argument("--engine", choices=("fast", "reference"), default="fast")
+    add_engine_arg(p, default="fast")
     p.add_argument("--transport", choices=("auto", "shm", "pickle"), default=None,
                    help="arena transport for pooled batches")
     p.add_argument("--no-verify", action="store_true")

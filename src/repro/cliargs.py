@@ -20,6 +20,7 @@ from .util.units import GHZ, GiB
 
 __all__ = [
     "FORMATS",
+    "add_engine_arg",
     "add_format_arg",
     "add_machine_args",
     "add_study_scale_args",
@@ -58,6 +59,30 @@ def add_format_arg(
 def get_format(args: argparse.Namespace) -> str:
     """The resolved ``--format`` value (``"ascii"`` when never added)."""
     return getattr(args, "format", "ascii")
+
+
+def add_engine_arg(
+    parser: argparse.ArgumentParser, default: str | None = None
+) -> None:
+    """Add ``--engine`` with the full engine registry as choices.
+
+    Every surface that runs the scheduler shares this one flag, so all
+    three engines (``reference``/``fast``/``compiled``) are reachable
+    everywhere with the same spelling — and an unknown value fails in
+    argparse, before any simulation starts.  The default ``None``
+    resolves through :func:`repro.runtime.scheduler.default_engine`
+    (``REPRO_ENGINE`` override, graceful compiled→fast degrade); use
+    ``repro engines`` to see which engines this host can run.
+    """
+    from .runtime.scheduler import ENGINES
+
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=default,
+        help="event kernel (default: REPRO_ENGINE env var, else 'fast'; "
+        "'compiled' needs a C toolchain — probe with `repro engines`)",
+    )
 
 
 def add_trace_arg(parser: argparse.ArgumentParser) -> None:

@@ -614,7 +614,8 @@ class TaskArena:
         state = {
             k: v
             for k, v in self.__dict__.items()
-            if not k.startswith("_c_") and k not in ("_fastpath_plan", "_shm")
+            if not k.startswith("_c_")
+            and k not in ("_fastpath_plan", "_compiledpath_plan", "_shm")
         }
         return state
 

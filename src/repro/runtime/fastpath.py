@@ -363,6 +363,35 @@ def _plans_for(sched: "Scheduler", graph: "TaskGraph") -> _GraphPlan:
     return gp
 
 
+def _ensure_crit_prio(sched: "Scheduler", graph: "TaskGraph", gp: _GraphPlan):
+    """Fill (and cache on *gp*) the ``critical``-policy priorities:
+    longest path to any sink.  Shared by the fast and compiled kernels
+    so both price the heap identically."""
+    priority = gp.crit_prio
+    if priority is None:
+        if isinstance(graph, TaskArena):
+            # Vectorized reverse sweep — bit-identical to the scalar
+            # loop below (exact max, same add order).
+            durs = graph.uncontended_durations(
+                sched._core_peak,
+                sched._l1_bw,
+                sched._l2_bw,
+                sched.machine.l3_bandwidth,
+                sched.machine.dram_bandwidth,
+            )
+            priority = graph.critical_priorities(durs).tolist()
+        else:
+            successors = graph._successors
+            priority = [0.0] * len(graph)
+            for task in reversed(graph.tasks):
+                below = max(
+                    (priority[s] for s in successors[task.tid]), default=0.0
+                )
+                priority[task.tid] = sched.uncontended_duration(task) + below
+        gp.crit_prio = priority
+    return priority
+
+
 def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
     """Simulate *graph* with the incremental event kernel.
 
@@ -403,24 +432,7 @@ def run_fast(sched: "Scheduler", graph: "TaskGraph") -> Schedule:
     # ---- ready-queue state (same discipline as the reference loop) ----
     priority: list[float] | None = None
     if policy == "critical":
-        priority = gp.crit_prio
-        if priority is None:
-            if is_arena:
-                # Vectorized reverse sweep — bit-identical to the
-                # scalar loop below (exact max, same add order).
-                durs = graph.uncontended_durations(
-                    sched._core_peak, sched._l1_bw, sched._l2_bw,
-                    l3_bw, dram_bw,
-                )
-                priority = graph.critical_priorities(durs).tolist()
-            else:
-                priority = [0.0] * n
-                for task in reversed(graph.tasks):
-                    below = max(
-                        (priority[s] for s in successors[task.tid]), default=0.0
-                    )
-                    priority[task.tid] = sched.uncontended_duration(task) + below
-            gp.crit_prio = priority
+        priority = _ensure_crit_prio(sched, graph, gp)
 
     ready_fifo: deque[int] = deque()
     ready_lifo: list[int] = []

@@ -56,30 +56,49 @@ __all__ = [
     "Scheduler",
     "SchedulePolicy",
     "SchedulerEngine",
+    "ENGINES",
     "default_engine",
 ]
 
 SchedulePolicy = Literal["fifo", "lifo", "critical", "steal"]
-SchedulerEngine = Literal["fast", "reference"]
+SchedulerEngine = Literal["fast", "reference", "compiled"]
+
+#: Every engine name the scheduler knows, in documentation order.
+#: ``compiled`` additionally needs a working C toolchain — probe with
+#: :func:`repro.runtime.compiledpath.compiled_available`.
+ENGINES: tuple[SchedulerEngine, ...] = ("reference", "fast", "compiled")
 
 
 def default_engine() -> SchedulerEngine:
     """The process-wide default event kernel.
 
     ``"fast"`` (the vectorized kernel in :mod:`repro.runtime.fastpath`)
-    unless overridden with ``REPRO_ENGINE=reference`` in the
-    environment — the escape hatch for differential debugging.
+    unless overridden with ``REPRO_ENGINE`` in the environment —
+    ``reference`` is the escape hatch for differential debugging,
+    ``compiled`` opts into the JIT kernel.  An environment opt-in (as
+    opposed to an explicit ``engine="compiled"`` argument, which is
+    strict) degrades gracefully to ``fast`` when the toolchain is
+    absent, with the warn-once ``engine.compiled_fallbacks`` counter.
     """
     env = os.environ.get("REPRO_ENGINE", "fast")
-    if env not in ("fast", "reference"):
+    if env not in ENGINES:
         raise ConfigurationError(
-            f"REPRO_ENGINE must be 'fast' or 'reference', got {env!r}"
+            f"REPRO_ENGINE must be one of {', '.join(ENGINES)}, got {env!r}"
         )
+    if env == "compiled":
+        from .compiledpath import compiled_available, record_fallback
+
+        ok, reason = compiled_available()
+        if not ok:
+            record_fallback(f"REPRO_ENGINE=compiled but {reason}")
+            return "fast"
     return env  # type: ignore[return-value]
 
 #: Dimension indices inside the remaining-work vectors.
 _FLOPS, _L1, _L2, _L3, _DRAM = range(5)
 _EPS = 1e-9
+
+_new = object.__new__
 
 
 @dataclass(frozen=True)
@@ -146,16 +165,35 @@ class Schedule:
     what bulk consumers like trace coarsening read without paying a
     million dataclass constructions).  Either may be passed at
     construction; the other materializes lazily on first access.
+
+    Task records follow the same pattern: :attr:`records` (a list of
+    :class:`TaskRecord` objects) or ``raw_records`` — the compiled
+    engine's ``(tid, core, start, end)`` output arrays plus the
+    tid-indexed name table — with the object form materialized lazily.
+    The measurement pipeline reads only intervals and stats, so a
+    study run never pays the per-task object construction at all.
+
+    The compiled engine goes one step further and hands over its raw
+    C-kernel output arrays untouched: ``interval_array`` (a ``(k, 8)``
+    float64 ndarray in :data:`_INTERVAL_FIELDS` column order) instead
+    of the tuple list, and ``raw_busy`` (``(core, start, end)`` arrays
+    of merged per-core busy intervals in global chronological order)
+    instead of built timelines.  Converting either to Python objects
+    costs more than the C sweep itself, so a run that only reads
+    ``stats`` — every benchmark sweep — pays nothing.
     """
 
     __slots__ = (
         "graph_name",
         "threads",
-        "records",
-        "timelines",
         "stats",
+        "_timelines",
+        "_raw_busy",
+        "_records",
+        "_raw_records",
         "_intervals",
         "_raw_intervals",
+        "_interval_array",
         "_record_index",
     )
 
@@ -163,38 +201,102 @@ class Schedule:
         self,
         graph_name: str,
         threads: int,
-        records: list[TaskRecord],
-        timelines: list[CoreTimeline],
-        stats: RuntimeStats,
+        records: list[TaskRecord] | None = None,
+        timelines: list[CoreTimeline] | None = None,
+        stats: RuntimeStats | None = None,
         intervals: list[ActivityInterval] | None = None,
         raw_intervals: list[tuple] | None = None,
+        raw_records: tuple | None = None,
+        interval_array=None,
+        raw_busy: tuple | None = None,
     ):
-        if intervals is None and raw_intervals is None:
+        if records is None and raw_records is None:
             raise SchedulingError(
-                "Schedule needs intervals or raw_intervals (or both)"
+                "Schedule needs records or raw_records (or both)"
             )
+        if intervals is None and raw_intervals is None and interval_array is None:
+            raise SchedulingError(
+                "Schedule needs intervals, raw_intervals, or interval_array"
+            )
+        if timelines is None and raw_busy is None:
+            raise SchedulingError("Schedule needs timelines or raw_busy")
+        if stats is None:
+            raise SchedulingError("Schedule needs stats")
         self.graph_name = graph_name
         self.threads = threads
-        self.records = records
-        self.timelines = timelines
         self.stats = stats
+        self._timelines = timelines
+        self._raw_busy = raw_busy
+        self._records = records
+        self._raw_records = raw_records
         self._intervals = intervals
         self._raw_intervals = raw_intervals
+        self._interval_array = interval_array
         self._record_index: dict[int, TaskRecord] | None = None
+
+    @property
+    def timelines(self) -> list[CoreTimeline]:
+        """Per-core busy timelines (materialized lazily from
+        ``raw_busy`` when the compiled engine produced this schedule)."""
+        timelines = self._timelines
+        if timelines is None:
+            core_arr, start_arr, end_arr = self._raw_busy
+            busy_of: list[list[tuple[float, float]]] = [
+                [] for _ in range(self.threads)
+            ]
+            for core, bs, be in zip(
+                core_arr.tolist(), start_arr.tolist(), end_arr.tolist()
+            ):
+                busy_of[core].append((bs, be))
+            makespan = self.stats.makespan
+            timelines = [
+                CoreTimeline(core, busy_of[core], makespan)
+                for core in range(self.threads)
+            ]
+            self._timelines = timelines
+        return timelines
+
+    @property
+    def records(self) -> list[TaskRecord]:
+        """Task records as objects (materialized lazily)."""
+        records = self._records
+        if records is None:
+            tids, cores, starts, ends, names = self._raw_records
+            records = []
+            append = records.append
+            new = _new
+            for tid, core, start, end in zip(
+                tids.tolist(), cores.tolist(), starts.tolist(), ends.tolist()
+            ):
+                rec = new(TaskRecord)
+                d = rec.__dict__
+                d["tid"] = tid
+                d["name"] = names[tid]
+                d["core"] = core
+                d["start"] = start
+                d["end"] = end
+                append(rec)
+            self._records = records
+        return records
 
     @property
     def intervals(self) -> list[ActivityInterval]:
         """Activity intervals as objects (materialized lazily)."""
         if self._intervals is None:
             self._intervals = [
-                ActivityInterval(*row) for row in self._raw_intervals
+                ActivityInterval(*row) for row in self.raw_intervals
             ]
         return self._intervals
 
     @property
     def raw_intervals(self) -> list[tuple]:
         """Activity intervals as plain ``_INTERVAL_FIELDS``-order
-        tuples (materialized lazily from the object form if needed)."""
+        tuples (materialized lazily from the array or object form)."""
+        if self._raw_intervals is None and self._interval_array is not None:
+            self._raw_intervals = list(
+                map(tuple, self._interval_array.tolist())
+            )
+            self._interval_array = None
         if self._raw_intervals is None:
             self._raw_intervals = [
                 (
@@ -263,9 +365,12 @@ class Scheduler:
         guaranteed by the DAG.
     engine:
         Event kernel: ``"fast"`` (vectorized, default — see
-        :mod:`repro.runtime.fastpath`) or ``"reference"`` (the
-        original per-event scalar loop, kept as the differential
-        oracle).  ``None`` resolves via :func:`default_engine`
+        :mod:`repro.runtime.fastpath`), ``"reference"`` (the original
+        per-event scalar loop, kept as the differential oracle), or
+        ``"compiled"`` (the JIT-compiled C sweep — see
+        :mod:`repro.runtime.compiledpath`; requires a C toolchain and
+        raises :class:`ConfigurationError` here when forced without
+        one).  ``None`` resolves via :func:`default_engine`
         (``REPRO_ENGINE`` environment override).
     """
 
@@ -288,8 +393,19 @@ class Scheduler:
             raise ConfigurationError(f"unknown policy {policy!r}")
         if engine is None:
             engine = default_engine()
-        if engine not in ("fast", "reference"):
+        if engine not in ENGINES:
             raise ConfigurationError(f"unknown engine {engine!r}")
+        if engine == "compiled":
+            # Explicitly requested (not env-resolved): fail fast rather
+            # than degrade, mirroring the forced-shm-transport
+            # semantics.  Compile cost itself stays lazy (first run).
+            from .compiledpath import compiled_available
+
+            ok, reason = compiled_available()
+            if not ok:
+                raise ConfigurationError(
+                    f"engine 'compiled' requested but unavailable: {reason}"
+                )
         self.machine = machine
         self.threads = threads
         self.policy = policy
@@ -365,6 +481,10 @@ class Scheduler:
                 from .fastpath import run_fast
 
                 return run_fast(self, graph)
+            if self.engine == "compiled":
+                from .compiledpath import run_compiled_or_fallback
+
+                return run_compiled_or_fallback(self, graph)
             if is_arena:
                 graph = graph.to_graph()
             return self._run_reference(graph)

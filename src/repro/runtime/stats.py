@@ -55,9 +55,34 @@ class RuntimeStats:
         steals: int = 0,
     ) -> "RuntimeStats":
         """Build stats from per-core timelines."""
+        return RuntimeStats.from_busy(
+            makespan=makespan,
+            busy=[tl.busy_time for tl in timelines],
+            task_count=task_count,
+            threads=threads,
+            migrations=migrations,
+            steals=steals,
+        )
+
+    @staticmethod
+    def from_busy(
+        makespan: float,
+        busy: Sequence[float],
+        task_count: int,
+        threads: int,
+        migrations: int = 0,
+        steals: int = 0,
+    ) -> "RuntimeStats":
+        """Build stats from per-core busy seconds (one entry per core).
+
+        The compiled engine uses this directly so it never has to
+        materialize :class:`~repro.runtime.timeline.CoreTimeline`
+        objects on the measurement path; callers must accumulate each
+        core's busy time in chronological interval order to stay
+        bit-identical with the timeline-derived form.
+        """
         if threads < 1:
             raise ValidationError(f"threads must be >= 1, got {threads}")
-        busy = [tl.busy_time for tl in timelines]
         total_busy = sum(busy)
         avg_par = total_busy / makespan if makespan > 0 else 0.0
         mean_busy = total_busy / len(busy) if busy else 0.0

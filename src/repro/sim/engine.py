@@ -60,8 +60,9 @@ class Engine:
         Optional emulated MSR file; when given, every run deposits its
         plane energies so RAPL/PAPI readers observe them.
     engine:
-        Scheduler event kernel (``"fast"``/``"reference"``); ``None``
-        resolves via :func:`repro.runtime.scheduler.default_engine`.
+        Scheduler event kernel (``"fast"``/``"reference"``/
+        ``"compiled"``); ``None`` resolves via
+        :func:`repro.runtime.scheduler.default_engine`.
     """
 
     def __init__(

@@ -47,6 +47,7 @@ from .invariants import (
     check_measurement,
 )
 from .oracle import (
+    differential_compiled_check,
     differential_engine_check,
     differential_service_check,
     differential_study_check,
@@ -67,6 +68,7 @@ __all__ = [
     "check_ep_scaling",
     "check_fault_modes",
     "check_measurement",
+    "differential_compiled_check",
     "differential_engine_check",
     "differential_service_check",
     "differential_study_check",

@@ -11,10 +11,13 @@ fast-vs-reference differential) run for *every* case; the expensive
 families are interleaved — an Eq. 8 bound cell every ``bounds_every``
 cases, a templated-vs-recursive lowering differential every
 ``lowering_every`` (the columnar arena stamping must be bit-identical
-to the object recursion), an Eq. 5/6 scaling sweep every
-``scaling_every``, a full serial-vs-parallel study differential every
-``study_every``, and the bound algebra + fault-mode scenarios once per
-run.  Because every
+to the object recursion), a compiled-engine differential every
+``compiled_every`` (the JIT-compiled C sweep against *both* Python
+kernels — probed once up front and silently absent on hosts without a
+toolchain, so ``--require compiled_engine`` makes its coverage
+mandatory), an Eq. 5/6 scaling sweep every ``scaling_every``, a full
+serial-vs-parallel study differential every ``study_every``, and the
+bound algebra + fault-mode scenarios once per run.  Because every
 family keys off the *case seed* (``base_seed + index``) and every
 family fires at index 0, any failure reported as seed *S* reproduces
 completely with::
@@ -56,6 +59,7 @@ from .invariants import (
     check_measurement,
 )
 from .oracle import (
+    differential_compiled_check,
     differential_engine_check,
     differential_lowering_check,
     differential_service_check,
@@ -198,6 +202,7 @@ def run_verify(
     max_tasks: int = 40,
     bounds_every: int = 10,
     lowering_every: int = 10,
+    compiled_every: int = 10,
     scaling_every: int = 25,
     study_every: int = 50,
     service_every: int = 100,
@@ -205,8 +210,13 @@ def run_verify(
     mutator: Callable[[RunMeasurement], RunMeasurement] | None = None,
 ) -> VerifyReport:
     """Run the full harness over *cases* seeds starting at *seed*."""
+    from ..runtime.compiledpath import compiled_available
+
     t0 = time.perf_counter()
     report = VerifyReport(cases=cases, seed=seed)
+    # Probed once: on a host without a C toolchain the compiled family
+    # never ticks, so ``--require compiled_engine`` fails — by design.
+    compiled_ok, _ = compiled_available()
 
     def tick(name: str) -> None:
         report.checks[name] = report.checks.get(name, 0) + 1
@@ -263,6 +273,14 @@ def run_verify(
                 case_seed,
                 differential_lowering_check(lc),
                 lc.describe(),
+            )
+        if compiled_ok and i % compiled_every == 0:
+            tick("compiled_engine")
+            record(
+                "compiled_engine",
+                case_seed,
+                differential_compiled_check(case),
+                case.describe(),
             )
         if i % scaling_every == 0:
             sc = gen_scaling_case(case_seed)

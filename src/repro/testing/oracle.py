@@ -34,6 +34,7 @@ from .invariants import Violation
 __all__ = [
     "canonical_intervals",
     "compare_schedules",
+    "differential_compiled_check",
     "differential_engine_check",
     "differential_lowering_check",
     "differential_service_check",
@@ -194,6 +195,33 @@ def differential_engine_check(case: GraphCase) -> list[Violation]:
         case.machine, case.threads, case.policy, execute=False, engine="fast"
     ).run(case.graph)
     return compare_schedules(ref, fast)
+
+
+def differential_compiled_check(case: GraphCase) -> list[Violation]:
+    """Replay one generated case through the compiled C kernel and
+    demand agreement with *both* pure-Python kernels.
+
+    The compiled sweep transcribes the fast kernel's arithmetic in
+    identical operand order, so against ``fast`` the comparison should
+    in practice be bit-identical; the tolerance contract it must
+    satisfy is the same one ``fast`` owes ``reference`` — placements
+    and makespans to 1e-12 relative, canonical intervals (zero-width
+    rows merged identically) and activity integrals within
+    :func:`compare_schedules`' bounds.  Callers are responsible for
+    probing :func:`repro.runtime.compiledpath.compiled_available`
+    first: constructing the scheduler with ``engine="compiled"`` on a
+    host without a toolchain raises ``ConfigurationError`` by design.
+    """
+    ref = Scheduler(
+        case.machine, case.threads, case.policy, execute=False, engine="reference"
+    ).run(case.graph)
+    fast = Scheduler(
+        case.machine, case.threads, case.policy, execute=False, engine="fast"
+    ).run(case.graph)
+    compiled = Scheduler(
+        case.machine, case.threads, case.policy, execute=False, engine="compiled"
+    ).run(case.graph)
+    return compare_schedules(ref, compiled) + compare_schedules(fast, compiled)
 
 
 # ---------------------------------------------------------------------------

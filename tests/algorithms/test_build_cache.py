@@ -138,14 +138,16 @@ def test_eviction_never_crosses_the_execute_boundary(machine):
     executed request observe a cached object."""
     cache = BuildCache(maxsize=2)
     alg = make_algorithm("openblas", machine)
-    seen = set()
+    # Keep every result alive: comparing bare id()s would false-positive
+    # when the allocator reuses a freed address.
+    seen = []
     for threads in (1, 2, 3, 1, 2):
         cost_only = alg.build_cached(64, threads, execute=False, cache=cache)
         executed = alg.build_cached(64, threads, execute=True, cache=cache)
         assert executed is not cost_only
         assert not executed.cost_only
-        assert id(executed) not in seen  # always freshly lowered
-        seen.add(id(executed))
+        assert all(executed is not prev for prev in seen)  # freshly lowered
+        seen.append(executed)
         assert len(cache) <= 2
 
 

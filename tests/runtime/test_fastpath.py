@@ -267,6 +267,58 @@ def test_differential_zero_cost_only(machine):
         assert fast.makespan == 0.0
 
 
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("store", ["list", "numpy"])
+def test_event_store_pinned_both_sides_of_threshold(machine, policy, store, monkeypatch):
+    """Pin the texp_adj store to each implementation on the *same*
+    cases and demand the reference identity from both.
+
+    The fast kernel keeps its event store as a plain Python list below
+    :data:`_NUMPY_THRESHOLD` seat entries and as a numpy array above
+    it.  The two stores must be pure implementation detail: pinning the
+    threshold so the 4-core paper machine (20 entries, normally list)
+    runs the numpy step, and a 24-core machine (120 entries, normally
+    numpy) runs the list step, must not change a single decision.
+    """
+    from repro.runtime import fastpath
+
+    monkeypatch.setattr(
+        fastpath, "_NUMPY_THRESHOLD", 0 if store == "numpy" else 10_000
+    )
+    for m in (machine, generic_smp(cores=24)):
+        graph = random_dag(17, n=150)
+        ref, fast = _run_both(m, graph, policy, m.cores)
+        assert_schedules_match(ref, fast)
+
+
+@pytest.mark.parametrize("policy", ["fifo", "steal"])
+def test_event_store_crossover_is_invisible(policy, monkeypatch):
+    """Straddle the real threshold: 19 threads (95 entries) takes the
+    list step, 20 threads (100 entries) the numpy step — and pinning
+    the *other* store onto the same machine is bit-identical, so the
+    crossover cannot be observed in any schedule."""
+    from repro.runtime import fastpath
+
+    assert fastpath._NUMPY_THRESHOLD == 96
+    graph = random_dag(23, n=200)
+    for cores in (19, 20):  # 95 / 100 seat entries
+        m = generic_smp(cores=cores)
+        natural = Scheduler(
+            m, cores, policy, execute=False, engine="fast"
+        ).run(graph)
+        flipped_threshold = 10_000 if cores * 5 >= 96 else 0
+        monkeypatch.setattr(fastpath, "_NUMPY_THRESHOLD", flipped_threshold)
+        flipped = Scheduler(
+            m, cores, policy, execute=False, engine="fast"
+        ).run(graph)
+        monkeypatch.setattr(fastpath, "_NUMPY_THRESHOLD", 96)
+        assert natural.makespan == flipped.makespan
+        assert natural.intervals == flipped.intervals
+        assert natural.stats == flipped.stats
+        for a, b in zip(natural.records, flipped.records):
+            assert (a.tid, a.core, a.start, a.end) == (b.tid, b.core, b.start, b.end)
+
+
 def test_graph_plan_cache_reused_and_extended(machine):
     """The per-graph plan cache survives repeat runs and graph growth."""
     from repro.runtime.fastpath import _PLAN_ATTR

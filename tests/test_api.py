@@ -181,3 +181,38 @@ class TestDeprecationShims:
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             EnergyPerformanceStudy(machine, config=StudyConfig(**CFG)).run()
+
+
+class TestAvailableEngines:
+    def test_probe_covers_the_registry(self):
+        from repro.api import available_engines
+
+        probes = available_engines()
+        assert set(probes) == {"reference", "fast", "compiled"}
+        assert probes["reference"] == (True, "scalar oracle (pure Python)")
+        assert probes["fast"] == (True, "vectorized numpy kernel")
+        ok, detail = probes["compiled"]
+        assert isinstance(ok, bool) and detail
+
+    def test_compiled_probe_honours_toolchain_override(self, monkeypatch):
+        from repro.api import available_engines
+
+        monkeypatch.setenv("REPRO_COMPILED_TOOLCHAIN", "none")
+        ok, detail = available_engines()["compiled"]
+        assert not ok
+        assert "REPRO_COMPILED_TOOLCHAIN=none" in detail
+
+    def test_run_options_accept_compiled(self):
+        assert RunOptions(engine="compiled").engine == "compiled"
+
+    def test_compiled_study_matches_fast(self, machine):
+        from repro.runtime.compiledpath import compiled_available
+
+        if not compiled_available()[0]:
+            pytest.skip("compiled engine unavailable")
+        fast = Study(machine, **CFG).run(RunOptions(engine="fast"))
+        comp = Study(machine, **CFG).run(RunOptions(engine="compiled"))
+        for key in fast.result.runs:
+            f, c = fast.result.runs[key], comp.result.runs[key]
+            assert f.elapsed_s == c.elapsed_s
+            assert f.energy.package == c.energy.package

@@ -38,6 +38,50 @@ def test_study_small(capsys):
     assert "Strassen" in out and "CAPS" in out
 
 
+def test_engines_lists_all_kernels(capsys):
+    code, out, _ = run(capsys, "engines")
+    assert code == 0
+    for name in ("reference", "fast", "compiled"):
+        assert name in out
+    assert "C compiler" in out and "JIT cache" in out
+
+
+def test_engines_reports_disabled_toolchain(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_COMPILED_TOOLCHAIN", "none")
+    code, out, _ = run(capsys, "engines")
+    assert code == 0
+    assert "REPRO_COMPILED_TOOLCHAIN=none" in out
+    assert "fall back to 'fast'" in out
+
+
+def test_study_unknown_engine_fails_in_argparse(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["study", "--sizes", "128", "--engine", "bogus"])
+    assert exc.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_study_engine_flag_matches_fast(capsys):
+    """--engine reference and --engine fast print identical tables on
+    the small matrix (the differential identity through the CLI)."""
+    argv = ("study", "--sizes", "128", "--threads", "1", "2",
+            "--execute-max-n", "0", "--no-verify")
+    code_f, out_f, _ = run(capsys, *argv, "--engine", "fast")
+    code_r, out_r, _ = run(capsys, *argv, "--engine", "reference")
+    assert code_f == 0 and code_r == 0
+    assert out_f == out_r
+
+
+def test_study_forced_compiled_without_toolchain_is_an_error(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_COMPILED_TOOLCHAIN", "none")
+    code, _, err = run(
+        capsys, "study", "--sizes", "128", "--threads", "1",
+        "--execute-max-n", "0", "--no-verify", "--engine", "compiled",
+    )
+    assert code == 2
+    assert "error:" in err and "compiled" in err
+
+
 def test_study_markdown_format(capsys):
     code, out, _ = run(
         capsys,

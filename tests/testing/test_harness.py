@@ -40,6 +40,27 @@ def test_clean_run_passes():
     assert report.checks["rapl_faults"] == 1
 
 
+def test_compiled_family_ticks_when_available(monkeypatch):
+    """With a toolchain, the compiled differential interleaves at its
+    cadence (firing at i == 0 like every family)."""
+    from repro.runtime.compiledpath import compiled_available
+
+    if not compiled_available()[0]:
+        pytest.skip("compiled engine unavailable")
+    report = run_verify(cases=11, seed=0, compiled_every=5)
+    assert report.ok
+    assert report.checks["compiled_engine"] == 3  # i = 0, 5, 10
+
+
+def test_compiled_family_absent_without_toolchain(monkeypatch):
+    """No toolchain: the family never ticks (so --require
+    compiled_engine fails), but the run itself stays green."""
+    monkeypatch.setenv("REPRO_COMPILED_TOOLCHAIN", "none")
+    report = run_verify(cases=3, seed=0)
+    assert report.ok
+    assert "compiled_engine" not in report.checks
+
+
 def test_fault_modes_reported():
     report = run_verify(cases=1, seed=0)
     assert report.fault_modes["wraparound"] == "corrected"

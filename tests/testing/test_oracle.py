@@ -9,6 +9,7 @@ from repro.testing.generators import gen_graph_case, gen_study_config
 from repro.testing.oracle import (
     canonical_intervals,
     compare_schedules,
+    differential_compiled_check,
     differential_engine_check,
     differential_study_check,
 )
@@ -91,6 +92,44 @@ def test_stats_skew_is_flagged():
     stats = dataclasses.replace(sched.stats, steals=sched.stats.steals + 3)
     names = {v.invariant for v in compare_schedules(sched, _clone(sched, stats=stats))}
     assert "oracle.stats" in names
+
+
+# ---------------------------------------------------------------------------
+# the compiled-engine differential
+
+from repro.runtime.compiledpath import compiled_available
+
+requires_cc = pytest.mark.skipif(
+    not compiled_available()[0], reason="compiled engine unavailable"
+)
+
+
+@requires_cc
+def test_compiled_check_clean_on_many_seeds():
+    for seed in range(20):
+        assert differential_compiled_check(gen_graph_case(seed)) == [], seed
+
+
+@requires_cc
+def test_compiled_check_flags_a_corrupted_kernel(monkeypatch):
+    """A miscompiled kernel must not slip past the oracle: skewing the
+    compiled schedule's makespan (as a wrong sweep would) is flagged."""
+    from repro.runtime import compiledpath as cp
+
+    real = cp.run_compiled
+
+    def skewed(sched, graph):
+        out = real(sched, graph)
+        bad_stats = dataclasses.replace(
+            out.stats, makespan=out.stats.makespan * 1.01 + 1.0
+        )
+        return _clone(out, stats=bad_stats)
+
+    monkeypatch.setattr(cp, "run_compiled", skewed)
+    names = {
+        v.invariant for v in differential_compiled_check(gen_graph_case(4))
+    }
+    assert "oracle.makespan" in names
 
 
 # ---------------------------------------------------------------------------

@@ -41,7 +41,7 @@ import io
 import pstats
 
 from repro.algorithms.registry import make_algorithm
-from repro.cliargs import add_machine_args, machine_from_args
+from repro.cliargs import add_engine_arg, add_machine_args, machine_from_args
 from repro.sim import Engine
 
 
@@ -94,6 +94,13 @@ def phase_sim(args) -> None:
             sys.exit(f"{args.alg} has no build_arena lowering")
     else:
         build = alg.build(args.n, args.threads, execute=False)
+    if args.engine == "compiled":
+        # JIT-compile outside the profiler so cc's wall time does not
+        # drown the sweep we are actually measuring.
+        from repro.runtime.compiledpath import warm_compile
+
+        if not warm_compile():
+            sys.exit("compiled engine unavailable (see `repro engines`)")
     engine = Engine(machine, engine=args.engine)
     print(
         f"== {args.engine} kernel on {args.graph} graph: {args.alg} "
@@ -126,8 +133,7 @@ def main() -> None:
                     help="algorithm name (build/sim phases)")
     ap.add_argument("--n", type=int, default=2048)
     ap.add_argument("--threads", type=int, default=4)
-    ap.add_argument("--engine", choices=("fast", "reference"), default="fast",
-                    help="event kernel (sim phase)")
+    add_engine_arg(ap, default="fast")
     ap.add_argument("--graph", choices=("arena", "object"), default="arena",
                     help="graph representation to simulate (sim phase)")
     ap.add_argument("--sizes", type=int, nargs="+", default=[512, 1024, 2048],
