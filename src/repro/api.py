@@ -26,6 +26,14 @@ from pathlib import Path
 from typing import Sequence
 
 from .algorithms import MatmulAlgorithm
+from .distributed import (
+    ClusterSpec,
+    NetRunResult,
+    NetworkConfig,
+    NetworkSweep,
+    NetworkSweepResult,
+    Topology,
+)
 from .core.study import (
     PAPER_SIZES,
     PAPER_THREADS,
@@ -52,9 +60,14 @@ from .util.errors import ConfigurationError
 from .util.tables import TextTable
 
 __all__ = [
+    "ClusterSpec",
     "Engine",
     "MachineSpec",
     "MatmulAlgorithm",
+    "NetRunResult",
+    "NetworkConfig",
+    "NetworkSweep",
+    "NetworkSweepResult",
     "PAPER_SIZES",
     "PAPER_THREADS",
     "RunMeasurement",
@@ -67,6 +80,7 @@ __all__ = [
     "StudyRun",
     "StudyService",
     "TRANSPORTS",
+    "Topology",
     "available_engines",
     "dual_socket_haswell",
     "generic_smp",

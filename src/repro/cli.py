@@ -274,6 +274,9 @@ def cmd_distributed(args) -> int:
     )
     from .power.planes import Plane
 
+    if args.simulate:
+        return _cmd_distributed_simulate(args)
+
     cluster = ClusterSpec(node=_machine_from_args(args))
     study = DistributedEPStudy(
         cluster,
@@ -297,6 +300,51 @@ def cmd_distributed(args) -> int:
                     run.planes_w[Plane.PSYS],
                 )
         print(_emit(table, get_format(args)))
+    return 0
+
+
+def _cmd_distributed_simulate(args) -> int:
+    """The discrete-event path: ``repro distributed --simulate``."""
+    from .distributed import ClusterSpec, NetworkConfig, NetworkSweep, Topology
+
+    cluster = ClusterSpec(
+        node=_machine_from_args(args), topology=Topology(args.topology)
+    )
+    cfg = NetworkConfig(protocol=args.protocol, chunks=args.chunks, c=args.c)
+    sweep = NetworkSweep(cluster, args.alg, cfg, engine=args.net_engine)
+    with _scoped_tracing(args.trace, "repro distributed --simulate"):
+        result = sweep.run(args.n, args.nodes)
+        table = TextTable(
+            ["ranks", "events", "time (s)", "compute (s)",
+             "max rank MB", "floor MB", "margin"],
+            ndigits=4,
+        )
+        for run in result.results:
+            margin = run.bound_margin
+            table.add_row(
+                run.ranks,
+                run.n_events,
+                run.total_time_s,
+                run.compute_time_s,
+                run.max_comm_bytes / 2**20,
+                run.floor_bytes / 2**20,
+                "inf" if margin == float("inf") else round(margin, 3),
+            )
+        print(
+            f"event-simulated {args.alg} n={args.n} on {args.topology} "
+            f"topology (protocol={args.protocol}, chunks={args.chunks}, "
+            f"c={args.c}, engine={args.net_engine})"
+        )
+        print(_emit(table, get_format(args)))
+        bad = result.violations()
+        if bad:
+            for run in bad:
+                print(
+                    f"FAIL: {run.algorithm} P={run.ranks} beats the Eq. 8 "
+                    f"floor ({run.max_comm_bytes:.0f} < {run.floor_bytes:.0f} "
+                    f"bytes)"
+                )
+            return 1
     return 0
 
 
@@ -493,12 +541,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-verify", action="store_true")
     p.set_defaults(func=cmd_sparse)
 
-    p = sub.add_parser("distributed", help="distributed-memory EP study")
+    p = sub.add_parser(
+        "distributed",
+        help="distributed-memory EP study (closed-form), or with "
+        "--simulate a discrete-event network simulation P-sweep",
+    )
     _add_machine_args(p)
     add_format_arg(p)
     add_trace_arg(p)
     p.add_argument("--n", type=int, default=8192)
     p.add_argument("--nodes", type=int, nargs="+", default=[1, 4, 16, 64])
+    p.add_argument("--simulate", action="store_true",
+                   help="event-simulate one algorithm over --nodes instead "
+                   "of running the closed-form study")
+    p.add_argument("--alg", default="summa25d",
+                   choices=("summa", "summa25d", "summa15d", "caps-dist"),
+                   help="schedule to simulate (with --simulate)")
+    p.add_argument("--topology", default="flat",
+                   choices=("flat", "ring", "torus2d", "hypercube"))
+    p.add_argument("--protocol", default="auto",
+                   choices=("auto", "eager", "rendezvous"))
+    p.add_argument("--chunks", type=int, default=1,
+                   help="pipeline broadcasts as this many chunks (1 = binomial)")
+    p.add_argument("--c", type=int, default=1,
+                   help="replication factor for summa25d/summa15d")
+    p.add_argument("--net-engine", default="events", dest="net_engine",
+                   choices=("events", "ranks"),
+                   help="arena-lowered vectorized sweep vs per-rank "
+                   "object loop (differential oracle)")
     p.set_defaults(func=cmd_distributed)
 
     p = sub.add_parser(

@@ -24,6 +24,8 @@ __all__ = [
     "OMEGA_STRASSEN",
     "OMEGA_CLASSICAL",
     "communication_bound_words",
+    "communication_floor_bytes",
+    "omega_for_algorithm",
     "caps_bandwidth_bound",
     "classical_bandwidth_bound",
     "bound_crossover_memory",
@@ -69,6 +71,27 @@ def communication_bound_words(
     dependent = n**omega0 / (p * m ** (omega0 / 2.0 - 1.0))
     independent = n**2 / p ** (2.0 / omega0)
     return CommunicationBound(dependent, independent)
+
+
+def omega_for_algorithm(name: str) -> float:
+    """Bound exponent for a named distributed algorithm: Strassen-like
+    schedules (CAPS) are held to the Strassen-exponent bound, the SUMMA
+    family to the classical one."""
+    return OMEGA_STRASSEN if "caps" in name or "strassen" in name else OMEGA_CLASSICAL
+
+
+def communication_floor_bytes(
+    n: float, p: float, m: float, omega0: float = OMEGA_STRASSEN
+) -> float:
+    """Eq. 8 as a per-processor *byte* floor for simulated schedules.
+
+    A single processor needs no interconnect traffic, so the floor is
+    zero for ``p <= 1``; otherwise it is the bound in 8-byte words,
+    scaled to bytes.  No honest schedule may move less than this — the
+    ``network_sim`` verify family enforces it."""
+    if p <= 1:
+        return 0.0
+    return communication_bound_words(n, p, m, omega0).words * 8.0
 
 
 def caps_bandwidth_bound(n: float, p: float, m: float) -> float:

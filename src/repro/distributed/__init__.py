@@ -1,17 +1,50 @@
 """Distributed-memory extension (paper §VIII): MPI-style communication
-cost models, interconnect power plane, and the distributed EP study
-comparing CAPS against SUMMA/2.5D baselines."""
+cost models, interconnect power plane, the distributed EP study
+comparing CAPS against SUMMA/2.5D/1.5D baselines, and the
+discrete-event network simulator that prices whole schedules on
+configurable topologies."""
 
-from .bsp import BspResult, BspSimulator, Superstep, caps_program, summa_program
-from .comm import CommCost, allgather, alltoall, broadcast, point_to_point, reduce
+from .bsp import (
+    BspResult,
+    BspSimulator,
+    Superstep,
+    bsp_constants,
+    caps_program,
+    idle_times,
+    rank_energies,
+    summa_program,
+)
+from .comm import (
+    CommCost,
+    allgather,
+    alltoall,
+    broadcast,
+    pipelined_broadcast,
+    point_to_point,
+    reduce,
+)
 from .dmatmul import (
     CapsDistributed,
     DistributedMatmul,
     RankProfile,
+    Summa15D,
     Summa25D,
     Summa2D,
+    strassen_flops,
 )
-from .network import ClusterSpec, InterconnectSpec
+from .netsim import (
+    NET_ALGORITHMS,
+    NetRunResult,
+    NetworkConfig,
+    NetworkSweep,
+    NetworkSweepResult,
+    broadcast_events,
+    bsp_events,
+    build_events,
+    simulate,
+    simulate_bsp,
+)
+from .network import TOPOLOGY_KINDS, ClusterSpec, InterconnectSpec, Topology
 from .study import DistributedEPStudy, DistributedRun, DistributedStudyResult
 
 __all__ = [
@@ -25,15 +58,33 @@ __all__ = [
     "DistributedRun",
     "DistributedStudyResult",
     "InterconnectSpec",
+    "NET_ALGORITHMS",
+    "NetRunResult",
+    "NetworkConfig",
+    "NetworkSweep",
+    "NetworkSweepResult",
     "RankProfile",
+    "Summa15D",
     "Summa25D",
     "Summa2D",
     "Superstep",
+    "TOPOLOGY_KINDS",
+    "Topology",
     "allgather",
     "alltoall",
     "broadcast",
+    "broadcast_events",
+    "bsp_constants",
+    "bsp_events",
+    "build_events",
     "caps_program",
+    "idle_times",
+    "pipelined_broadcast",
     "point_to_point",
+    "rank_energies",
     "reduce",
+    "simulate",
+    "simulate_bsp",
+    "strassen_flops",
     "summa_program",
 ]

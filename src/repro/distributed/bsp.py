@@ -38,11 +38,56 @@ __all__ = [
     "Superstep",
     "BspResult",
     "BspSimulator",
+    "bsp_constants",
+    "idle_times",
+    "rank_energies",
     "summa_program",
     "caps_program",
 ]
 
 _WORD = 8
+
+
+def bsp_constants(net, ranks: int) -> tuple[float, float]:
+    """``(g, L)`` of the BSP cost model: seconds/byte through the
+    network and the barrier latency.  Shared verbatim by the closed
+    form and the event lowering (:func:`repro.distributed.netsim.
+    bsp_events`) so the two price a superstep identically."""
+    g = 1.0 / net.bandwidth_bytes_per_s
+    barrier_l = net.latency_s * max(1.0, math.log2(max(ranks, 2)))
+    return g, barrier_l
+
+
+def idle_times(
+    total: float, comm_total: float, compute: Sequence[float]
+) -> list[float]:
+    """Per-rank barrier-wait time: the run's total compute window minus
+    the rank's own compute, floored at zero (floating-point rounding
+    can push the slowest rank a few ulps negative)."""
+    window = total - comm_total
+    return [max(0.0, window - c) for c in compute]
+
+
+def rank_energies(
+    cluster: ClusterSpec,
+    total: float,
+    compute: Sequence[float],
+    comm_bytes: Sequence[float],
+) -> list[dict[Plane, float]]:
+    """Per-rank plane energies of one simulated run.
+
+    Shared by :class:`BspSimulator` and the event-simulated BSP path —
+    both feed it the same floats, so the energies agree exactly."""
+    node = cluster.node
+    net = cluster.interconnect
+    em = node.energy
+    energies = []
+    for c, b in zip(compute, comm_bytes):
+        pkg = em.package_static_w * total + node.cores * em.core_active_w * c
+        dram = em.dram_static_w * total
+        psys = net.link_static_w * total + net.transfer_energy_j(b)
+        energies.append({Plane.PACKAGE: pkg, Plane.DRAM: dram, Plane.PSYS: psys})
+    return energies
 
 
 @dataclass(frozen=True)
@@ -129,43 +174,36 @@ class BspSimulator:
                     f"superstep {step.name!r} has {step.ranks} ranks, expected {ranks}"
                 )
         net = self.cluster.interconnect
-        g = 1.0 / net.bandwidth_bytes_per_s
-        barrier_l = net.latency_s * max(1.0, math.log2(max(ranks, 2)))
+        g, barrier_l = bsp_constants(net, ranks)
 
+        # Accumulation discipline: compute and comm are added to the
+        # running total *separately* (fl((prev + c) + m), never
+        # fl(prev + (c + m))) because that is the addition sequence the
+        # event lowering's dependency chain performs — the exact-match
+        # differential oracle against repro.distributed.netsim depends
+        # on it.
         total = 0.0
         comm_total = 0.0
         compute = [0.0] * ranks
-        idle = [0.0] * ranks
         comm_bytes = [0.0] * ranks
         for step in program:
             step_compute = max(step.compute_s)
             h = max(step.h_bytes)
             step_comm = g * h + barrier_l
-            total += step_compute + step_comm
+            total += step_compute
+            total += step_comm
             comm_total += step_comm
             for r in range(ranks):
                 compute[r] += step.compute_s[r]
-                idle[r] += step_compute - step.compute_s[r]
                 comm_bytes[r] += step.h_bytes[r]
 
-        node = self.cluster.node
-        em = node.energy
-        energies = []
-        for r in range(ranks):
-            pkg = (
-                em.package_static_w * total
-                + node.cores * em.core_active_w * compute[r]
-            )
-            dram = em.dram_static_w * total
-            psys = net.link_static_w * total + net.transfer_energy_j(comm_bytes[r])
-            energies.append({Plane.PACKAGE: pkg, Plane.DRAM: dram, Plane.PSYS: psys})
         return BspResult(
             ranks=ranks,
             total_time_s=total,
             compute_time_s=compute,
             comm_time_s=comm_total,
-            idle_time_s=idle,
-            rank_energy_j=energies,
+            idle_time_s=idle_times(total, comm_total, compute),
+            rank_energy_j=rank_energies(self.cluster, total, compute, comm_bytes),
         )
 
 

@@ -5,6 +5,13 @@ The distributed EP study needs per-rank communication *time* and
 Costs follow the standard tree/ring formulations (Thakur et al.);
 energies charge the interconnect plane for every byte that crosses a
 link at this rank.
+
+Accumulation discipline: every multi-round cost is summed by repeated
+addition (``t + t + ...``), never ``rounds * t``.  The two differ in
+floating point, and the discrete-event simulator — whose per-round
+message chain necessarily adds one round at a time — must agree with
+these closed forms *exactly* on contention-free topologies (that
+equality is a CI-required differential oracle).
 """
 
 from __future__ import annotations
@@ -12,11 +19,18 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..util.errors import ValidationError
 from ..util.validation import require_nonnegative, require_positive
 from .network import InterconnectSpec
 
-__all__ = ["CommCost", "point_to_point", "broadcast", "reduce", "allgather", "alltoall"]
+__all__ = [
+    "CommCost",
+    "point_to_point",
+    "broadcast",
+    "reduce",
+    "allgather",
+    "alltoall",
+    "pipelined_broadcast",
+]
 
 
 @dataclass(frozen=True)
@@ -43,6 +57,17 @@ def _check(nbytes: float, ranks: int) -> None:
     require_positive(ranks, "ranks")
 
 
+def _rounds_cost(net: InterconnectSpec, nbytes: float, rounds: int) -> CommCost:
+    """*rounds* back-to-back transfers of *nbytes*, chain-accumulated."""
+    t = net.transfer_time_s(nbytes)
+    time_s = 0.0
+    link_bytes = 0.0
+    for _ in range(rounds):
+        time_s += t
+        link_bytes += nbytes
+    return CommCost(time_s, link_bytes)
+
+
 def point_to_point(net: InterconnectSpec, nbytes: float) -> CommCost:
     """One send/recv pair."""
     require_nonnegative(nbytes, "nbytes")
@@ -54,11 +79,7 @@ def broadcast(net: InterconnectSpec, nbytes: float, ranks: int) -> CommCost:
     _check(nbytes, ranks)
     if ranks == 1:
         return CommCost.zero()
-    rounds = math.ceil(math.log2(ranks))
-    return CommCost(
-        rounds * net.transfer_time_s(nbytes),
-        rounds * nbytes,
-    )
+    return _rounds_cost(net, nbytes, math.ceil(math.log2(ranks)))
 
 
 def reduce(net: InterconnectSpec, nbytes: float, ranks: int) -> CommCost:
@@ -71,11 +92,7 @@ def allgather(net: InterconnectSpec, nbytes_per_rank: float, ranks: int) -> Comm
     _check(nbytes_per_rank, ranks)
     if ranks == 1:
         return CommCost.zero()
-    rounds = ranks - 1
-    return CommCost(
-        rounds * net.transfer_time_s(nbytes_per_rank),
-        rounds * nbytes_per_rank,
-    )
+    return _rounds_cost(net, nbytes_per_rank, ranks - 1)
 
 
 def alltoall(net: InterconnectSpec, nbytes_per_pair: float, ranks: int) -> CommCost:
@@ -83,8 +100,27 @@ def alltoall(net: InterconnectSpec, nbytes_per_pair: float, ranks: int) -> CommC
     _check(nbytes_per_pair, ranks)
     if ranks == 1:
         return CommCost.zero()
-    rounds = ranks - 1
-    return CommCost(
-        rounds * net.transfer_time_s(nbytes_per_pair),
-        rounds * nbytes_per_pair,
-    )
+    return _rounds_cost(net, nbytes_per_pair, ranks - 1)
+
+
+def pipelined_broadcast(
+    net: InterconnectSpec, nbytes: float, ranks: int, chunks: int = 1
+) -> CommCost:
+    """Chunked ring-pipeline broadcast (the hpl-ai ``simulate.py`` shape).
+
+    The payload is cut into *chunks* equal pieces streamed down the
+    rank chain; the last chunk reaches the last rank after
+    ``(ranks - 1) + (chunks - 1)`` chunk-transfer times.  Per-rank link
+    volume is the full payload (every interior rank forwards what it
+    receives).  With ``chunks=1`` this is the unpipelined chain.
+    """
+    _check(nbytes, ranks)
+    require_positive(chunks, "chunks")
+    if ranks == 1:
+        return CommCost.zero()
+    chunk = nbytes / chunks
+    t = net.transfer_time_s(chunk)
+    time_s = 0.0
+    for _ in range(ranks - 1 + chunks - 1):
+        time_s += t
+    return CommCost(time_s, nbytes)

@@ -29,9 +29,37 @@ from ..util.validation import require_positive
 from .comm import CommCost
 from .network import ClusterSpec
 
-__all__ = ["RankProfile", "DistributedMatmul", "Summa2D", "Summa25D", "CapsDistributed"]
+__all__ = [
+    "RankProfile",
+    "DistributedMatmul",
+    "Summa2D",
+    "Summa25D",
+    "Summa15D",
+    "CapsDistributed",
+    "strassen_flops",
+]
 
 _WORD = 8
+
+
+def strassen_flops(n: float, leaf_cutoff: int = 64) -> float:
+    """Total flops of Winograd-Strassen recursion down to *leaf_cutoff*:
+    ``7^levels`` cubic leaves plus 15 quadratic add/sub passes per
+    split (shared by the closed-form CAPS model and the event-simulated
+    CAPS schedule)."""
+    require_positive(leaf_cutoff, "leaf_cutoff")
+    s = float(n)
+    levels = 0
+    while s > leaf_cutoff:
+        s /= 2.0
+        levels += 1
+    leaf = 2.0 * s**3
+    adds = 0.0
+    dim = float(n)
+    for level in range(levels):
+        adds += (7.0**level) * 15.0 * (dim / 2.0) ** 2
+        dim /= 2.0
+    return (7.0**levels) * leaf + adds
 
 
 @dataclass(frozen=True)
@@ -160,6 +188,59 @@ class Summa25D(DistributedMatmul):
         )
 
 
+class Summa15D(DistributedMatmul):
+    """1.5D matmul (PASSIONLab ``15d.cpp``): a 1-D decomposition with
+    *c*-fold replication.  A block-rows stay resident; B block-rows
+    ring-shift, each of the ``c`` layers covering ``p/c`` of the ``p``
+    shift positions, then partial C reduces over the layer fibers."""
+
+    name = "summa15d"
+    display_name = "SUMMA 1.5D"
+
+    def __init__(self, cluster: ClusterSpec, c: int = 2, efficiency: float = 0.90):
+        super().__init__(cluster, efficiency)
+        require_positive(c, "c")
+        self.c = c
+
+    def effective_c(self, nodes: int) -> int:
+        """Largest usable replication on *nodes* ranks: ``c`` must
+        divide both the rank count and the ring length ``p = nodes/c``
+        (the Snippet-3 ``c^2 | P`` requirement)."""
+        require_positive(nodes, "nodes")
+        return max(
+            d
+            for d in range(1, min(self.c, nodes) + 1)
+            if nodes % d == 0 and (nodes // d) % d == 0
+        )
+
+    def memory_words_per_rank(self, n: int, nodes: int) -> float:
+        # A once, B and the C partials replicated across layers.
+        return (1.0 + 2.0 * self.effective_c(nodes)) * float(n) ** 2 / nodes
+
+    def rank_profile(self, n: int, nodes: int) -> RankProfile:
+        require_positive(n, "n")
+        self.cluster.validate_nodes(nodes)
+        c = self.effective_c(nodes)
+        self.check_feasible(n, nodes)
+        p = nodes // c
+        flops = 2.0 * float(n) ** 3 / nodes
+        shift_words = (p // c - 1) * float(n) ** 2 / p  # B ring shifts
+        reduce_words = (
+            math.ceil(math.log2(c)) * float(n) ** 2 / p if c > 1 else 0.0
+        )
+        words = shift_words + reduce_words
+        nbytes = words * _WORD
+        messages = max(1, (p // c - 1) + (math.ceil(math.log2(c)) if c > 1 else 0))
+        net = self.cluster.interconnect
+        comm = CommCost(net.transfer_time_s(nbytes, messages), nbytes)
+        return RankProfile(
+            flops=flops,
+            compute_time_s=self._compute_time(flops),
+            dram_bytes=self._local_dram_bytes(flops) + nbytes,
+            comm=comm,
+        )
+
+
 class CapsDistributed(DistributedMatmul):
     """CAPS at its communication lower bound (Eq. 8)."""
 
@@ -172,20 +253,7 @@ class CapsDistributed(DistributedMatmul):
         self.leaf_cutoff = leaf_cutoff
 
     def _strassen_flops(self, n: int) -> float:
-        s = float(n)
-        flops = 1.0
-        # Count multiply flops with the Winograd recursion to the cutoff.
-        levels = 0
-        while s > self.leaf_cutoff:
-            s /= 2.0
-            levels += 1
-        leaf = 2.0 * s**3
-        adds = 0.0
-        dim = float(n)
-        for level in range(levels):
-            adds += (7.0**level) * 15.0 * (dim / 2.0) ** 2
-            dim /= 2.0
-        return (7.0**levels) * leaf + adds
+        return strassen_flops(n, self.leaf_cutoff)
 
     def memory_words_per_rank(self, n: int, nodes: int) -> float:
         # BFS replication: the (7/4)^k blow-up over the classical layout,

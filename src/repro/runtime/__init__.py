@@ -6,6 +6,13 @@ discrete-event scheduler with shared L3/DRAM bandwidth contention.
 
 from .arena import TaskArena
 from .cost import ZERO_COST, TaskCost
+from .rankevents import (
+    NET_ENGINES,
+    EventAggregate,
+    EventStreamBuilder,
+    RankEvent,
+    RankEventProgram,
+)
 from .shm import ArenaDescriptor, ArenaPool
 from .openmp import OpenMP, omp_num_threads
 from .scheduler import (
@@ -24,7 +31,12 @@ __all__ = [
     "ArenaDescriptor",
     "ArenaPool",
     "CoreTimeline",
+    "EventAggregate",
+    "EventStreamBuilder",
+    "NET_ENGINES",
     "OpenMP",
+    "RankEvent",
+    "RankEventProgram",
     "RuntimeStats",
     "Schedule",
     "SchedulePolicy",

@@ -1,0 +1,329 @@
+"""Rank-level event streams lowered onto the SoA task arena.
+
+The discrete-event network simulator (:mod:`repro.distributed.netsim`)
+describes a distributed run as a stream of per-rank events — local
+compute, point-to-point sends/receives, barriers — whose dependency
+structure is a DAG: each rank's events chain in program order (a rank
+is single-ported: one NIC transaction at a time), and every receive
+additionally depends on the matching send.  Simulating the network is
+then exactly the earliest-finish sweep the scheduler's arena already
+vectorizes: ``finish = max(dep finishes) + duration``, one
+``np.maximum.reduceat`` per dependency level.
+
+Two engines share one event stream:
+
+* ``events`` — the hot path.  The stream lives as SoA columns
+  (kind/rank/peer/nbytes/duration + CSR deps), is wrapped in a real
+  :class:`~repro.runtime.arena.TaskArena` (all six cost columns alias
+  one shared zeros array), and is swept by ``TaskArena.finish_times``.
+  No per-rank Python object is ever materialized.
+* ``ranks`` — the reference path and differential-oracle baseline: the
+  stream is exploded into per-rank lists of :class:`RankEvent` objects
+  and swept by a scalar loop.  Same ``max``/add arithmetic, so the two
+  engines agree *bit-for-bit* (asserted by the ``network_sim`` verify
+  family), but it touches millions of Python objects at thousand-rank
+  scale — which is why it is the baseline of the ``network_sim`` bench
+  gate, not the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.errors import ValidationError
+from ..util.validation import require_nonnegative, require_positive
+from .arena import _COST_FIELDS, NO_CREATOR, TaskArena
+
+__all__ = [
+    "KIND_COMPUTE",
+    "KIND_SEND",
+    "KIND_RECV",
+    "KIND_SYNC",
+    "NET_ENGINES",
+    "EventStreamBuilder",
+    "RankEvent",
+    "RankEventProgram",
+    "EventAggregate",
+]
+
+#: Event kinds (also the arena task names, for trace/debug output).
+KIND_COMPUTE = 0
+KIND_SEND = 1
+KIND_RECV = 2
+KIND_SYNC = 3
+_KIND_NAMES = ("compute", "send", "recv", "sync")
+
+#: Simulation engines accepted by :meth:`RankEventProgram.simulate`.
+NET_ENGINES = ("events", "ranks")
+
+
+class EventStreamBuilder:
+    """Appends rank events in program order, maintaining per-rank chains.
+
+    Events are kept as parallel scalar lists (SoA) — the builder never
+    creates an object per event.  ``_last[r]`` is the id of rank *r*'s
+    most recent event; chaining every new event on it models the
+    single-port serialization of a NIC.
+    """
+
+    def __init__(self, ranks: int):
+        require_positive(ranks, "ranks")
+        self.ranks = ranks
+        self._kind: list[int] = []
+        self._rank: list[int] = []
+        self._peer: list[int] = []
+        self._nbytes: list[float] = []
+        self._dur: list[float] = []
+        self._dep_flat: list[int] = []
+        self._dep_counts: list[int] = []
+        self._last: list[int] = [-1] * ranks
+
+    def __len__(self) -> int:
+        return len(self._kind)
+
+    def _emit(
+        self,
+        kind: int,
+        rank: int,
+        peer: int,
+        nbytes: float,
+        duration: float,
+        deps: list[int],
+    ) -> int:
+        eid = len(self._kind)
+        self._kind.append(kind)
+        self._rank.append(rank)
+        self._peer.append(peer)
+        self._nbytes.append(nbytes)
+        self._dur.append(duration)
+        self._dep_flat.extend(deps)
+        self._dep_counts.append(len(deps))
+        return eid
+
+    def _chain(self, rank: int) -> list[int]:
+        if not 0 <= rank < self.ranks:
+            raise ValidationError(f"rank {rank} out of range for {self.ranks} ranks")
+        head = self._last[rank]
+        return [head] if head >= 0 else []
+
+    def compute(self, rank: int, seconds: float) -> int:
+        """Local work on *rank*'s chain."""
+        require_nonnegative(seconds, "seconds")
+        eid = self._emit(KIND_COMPUTE, rank, -1, 0.0, seconds, self._chain(rank))
+        self._last[rank] = eid
+        return eid
+
+    def message(
+        self,
+        src: int,
+        dst: int,
+        nbytes: float,
+        duration: float,
+        rendezvous: bool = False,
+    ) -> tuple[int, int]:
+        """One point-to-point message; returns ``(send_id, recv_id)``.
+
+        The send occupies the sender's port for *duration* (the full
+        wire time is charged there).  Under rendezvous the send also
+        waits for the receiver's chain (the handshake).  The receive is
+        a zero-duration arrival on the receiver's chain — it completes
+        when both the wire and the receiver's previous operation have.
+        """
+        require_nonnegative(nbytes, "nbytes")
+        require_nonnegative(duration, "duration")
+        if src == dst:
+            raise ValidationError("self-message: src == dst")
+        deps = self._chain(src)
+        if rendezvous:
+            deps += self._chain(dst)
+        send = self._emit(KIND_SEND, src, dst, nbytes, duration, deps)
+        self._last[src] = send
+        recv = self._emit(
+            KIND_RECV, dst, src, nbytes, 0.0, self._chain(dst) + [send]
+        )
+        self._last[dst] = recv
+        return send, recv
+
+    def barrier(self, duration: float = 0.0) -> int:
+        """Global join: one SYNC event depending on every rank's chain
+        head, which then becomes every rank's new head.  *duration*
+        models the barrier (or BSP comm-phase) cost."""
+        require_nonnegative(duration, "duration")
+        deps = [h for h in self._last if h >= 0]
+        eid = self._emit(KIND_SYNC, 0, -1, 0.0, duration, deps)
+        for r in range(self.ranks):
+            self._last[r] = eid
+        return eid
+
+    def mark_recv(self, rank: int, nbytes: float) -> int:
+        """Zero-duration accounting event: charge *nbytes* of received
+        traffic to *rank* without advancing time (used by the BSP
+        lowering, whose h-relation volume is priced inside the
+        barrier)."""
+        require_nonnegative(nbytes, "nbytes")
+        eid = self._emit(KIND_RECV, rank, -1, nbytes, 0.0, self._chain(rank))
+        self._last[rank] = eid
+        return eid
+
+    def build(self, name: str = "rank-events") -> "RankEventProgram":
+        """Freeze the stream into a :class:`RankEventProgram`."""
+        n = len(self)
+        kind = np.asarray(self._kind, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        if n:
+            np.cumsum(self._dep_counts, out=indptr[1:])
+        zeros = np.zeros(n, dtype=np.float64)
+        arena = TaskArena(
+            name=name,
+            names=_KIND_NAMES,
+            name_ids=kind,
+            cost_columns={f: zeros for f in _COST_FIELDS},
+            untied=np.ones(n, dtype=bool),
+            created_by=np.full(n, NO_CREATOR, dtype=np.int64),
+            dep_indptr=indptr,
+            dep_indices=np.asarray(self._dep_flat, dtype=np.int64),
+        )
+        return RankEventProgram(
+            ranks=self.ranks,
+            kind=kind,
+            rank=np.asarray(self._rank, dtype=np.int64),
+            peer=np.asarray(self._peer, dtype=np.int64),
+            nbytes=np.asarray(self._nbytes, dtype=np.float64),
+            durations=np.asarray(self._dur, dtype=np.float64),
+            arena=arena,
+        )
+
+
+class RankEvent:
+    """One event on the per-rank object path (the ``ranks`` engine)."""
+
+    __slots__ = ("eid", "kind", "rank", "deps", "duration", "finish")
+
+    def __init__(self, eid: int, kind: int, rank: int, deps: list[int], duration: float):
+        self.eid = eid
+        self.kind = kind
+        self.rank = rank
+        self.deps = deps
+        self.duration = duration
+        self.finish = 0.0
+
+
+@dataclass(frozen=True)
+class EventAggregate:
+    """Per-rank reductions of one simulated event stream."""
+
+    total_s: float
+    compute_s: np.ndarray  # per rank
+    sent_bytes: np.ndarray  # per rank
+    recv_bytes: np.ndarray  # per rank
+    sync_s: float  # chain-summed SYNC durations (BSP comm phases)
+
+    def comm_bytes(self) -> np.ndarray:
+        """Per-rank total traffic (sent + received)."""
+        return self.sent_bytes + self.recv_bytes
+
+
+@dataclass
+class RankEventProgram:
+    """A frozen event stream plus its arena lowering."""
+
+    ranks: int
+    kind: np.ndarray
+    rank: np.ndarray
+    peer: np.ndarray
+    nbytes: np.ndarray
+    durations: np.ndarray
+    arena: TaskArena
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.kind)
+
+    def finish_times(self, engine: str = "events") -> np.ndarray:
+        """Earliest-finish of every event under the chosen engine."""
+        if engine == "events":
+            return self.arena.finish_times(self.durations)
+        if engine == "ranks":
+            return self._finish_object_path()
+        raise ValidationError(
+            f"unknown net engine {engine!r}; expected one of {NET_ENGINES}"
+        )
+
+    def _finish_object_path(self) -> np.ndarray:
+        """Reference sweep over per-rank Python event objects.
+
+        Same arithmetic as the arena sweep (exact ``max``, one add per
+        event), so the results are bit-identical — this is the
+        differential baseline, deliberately object-at-a-time."""
+        n = len(self)
+        indptr = self.arena.dep_indptr
+        indices = self.arena.dep_indices
+        kind = self.kind
+        rank = self.rank
+        dur = self.durations
+        per_rank: list[list[RankEvent]] = [[] for _ in range(self.ranks)]
+        events: list[RankEvent] = []
+        for i in range(n):
+            ev = RankEvent(
+                i,
+                int(kind[i]),
+                int(rank[i]),
+                [int(d) for d in indices[indptr[i] : indptr[i + 1]]],
+                float(dur[i]),
+            )
+            events.append(ev)
+            if 0 <= ev.rank < self.ranks:
+                per_rank[ev.rank].append(ev)
+        finish = [0.0] * n
+        for ev in events:
+            f = 0.0
+            for d in ev.deps:
+                df = finish[d]
+                if df > f:
+                    f = df
+            fin = f + ev.duration
+            ev.finish = fin
+            finish[ev.eid] = fin
+        return np.asarray(finish, dtype=np.float64)
+
+    def aggregate(self, finish: np.ndarray) -> EventAggregate:
+        """Per-rank reductions, engine-independent.
+
+        ``np.bincount`` accumulates weights sequentially in array
+        order, which is emission order — the same addition sequence a
+        scalar per-step loop performs, so these reductions are exact
+        under both engines."""
+        total = float(finish.max()) if len(finish) else 0.0
+        is_compute = self.kind == KIND_COMPUTE
+        is_send = self.kind == KIND_SEND
+        is_recv = self.kind == KIND_RECV
+        is_sync = self.kind == KIND_SYNC
+        compute = np.bincount(
+            self.rank[is_compute],
+            weights=self.durations[is_compute],
+            minlength=self.ranks,
+        )
+        sent = np.bincount(
+            self.rank[is_send], weights=self.nbytes[is_send], minlength=self.ranks
+        )
+        recv = np.bincount(
+            self.rank[is_recv], weights=self.nbytes[is_recv], minlength=self.ranks
+        )
+        sync_durs = self.durations[is_sync]
+        sync_s = float(sync_durs.cumsum()[-1]) if len(sync_durs) else 0.0
+        return EventAggregate(
+            total_s=total,
+            compute_s=compute,
+            sent_bytes=sent,
+            recv_bytes=recv,
+            sync_s=sync_s,
+        )
+
+    def simulate(self, engine: str = "events") -> EventAggregate:
+        """Sweep and reduce in one call."""
+        return self.aggregate(self.finish_times(engine))

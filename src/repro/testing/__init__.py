@@ -31,9 +31,11 @@ CI and developers run the same entry point::
 from .generators import (
     POLICIES,
     GraphCase,
+    NetworkCase,
     gen_algorithm_case,
     gen_graph_case,
     gen_machine,
+    gen_network_case,
     gen_scaling_case,
     gen_study_config,
     shrink_graph_case,
@@ -45,10 +47,12 @@ from .invariants import (
     check_comm_bounds,
     check_ep_scaling,
     check_measurement,
+    check_network_bounds,
 )
 from .oracle import (
     differential_compiled_check,
     differential_engine_check,
+    differential_network_check,
     differential_service_check,
     differential_study_check,
 )
@@ -60,6 +64,7 @@ __all__ = [
     "Counterexample",
     "FaultyMsr",
     "GraphCase",
+    "NetworkCase",
     "VerifyReport",
     "Violation",
     "assert_no_violations",
@@ -68,13 +73,16 @@ __all__ = [
     "check_ep_scaling",
     "check_fault_modes",
     "check_measurement",
+    "check_network_bounds",
     "differential_compiled_check",
     "differential_engine_check",
+    "differential_network_check",
     "differential_service_check",
     "differential_study_check",
     "gen_algorithm_case",
     "gen_graph_case",
     "gen_machine",
+    "gen_network_case",
     "gen_scaling_case",
     "gen_study_config",
     "run_verify",

@@ -41,12 +41,14 @@ __all__ = [
     "GraphCase",
     "AlgorithmCase",
     "LoweringCase",
+    "NetworkCase",
     "ScalingCase",
     "case_strategy",
     "gen_algorithm_case",
     "gen_graph_case",
     "gen_lowering_case",
     "gen_machine",
+    "gen_network_case",
     "gen_scaling_case",
     "gen_study_config",
     "shrink_graph_case",
@@ -118,6 +120,33 @@ class LoweringCase:
         return (
             f"seed={self.seed} machine={self.machine.name} "
             f"alg={self.algorithm} n={self.n} threads={self.threads}"
+        )
+
+
+@dataclass(frozen=True)
+class NetworkCase:
+    """One simulated distributed schedule for the ``network_sim``
+    family: an event-lowered (algorithm, n, ranks) cell on a random
+    topology/protocol, plus a small BSP program for the exact-equality
+    bridge between the event simulator and the closed-form BSP model."""
+
+    seed: int
+    cluster: "object"  # ClusterSpec (deferred import keeps generators light)
+    algorithm: str
+    n: int
+    ranks: int
+    config: "object"  # repro.distributed.NetworkConfig
+    bsp_n: int
+    bsp_ranks: int
+    bsp_imbalance: float
+
+    def describe(self) -> str:
+        return (
+            f"seed={self.seed} alg={self.algorithm} n={self.n} "
+            f"ranks={self.ranks} c={self.config.c} "
+            f"topology={self.cluster.topology.kind} "
+            f"protocol={self.config.protocol} chunks={self.config.chunks} "
+            f"bsp=({self.bsp_n},{self.bsp_ranks})"
         )
 
 
@@ -262,6 +291,54 @@ def gen_scaling_case(seed: int) -> ScalingCase:
         algorithm=rng.choice(_ALGORITHM_NAMES),
         n=rng.choice((64, 128)),
         threads=threads,
+    )
+
+
+#: Valid (ranks, c) pairs per event-simulated algorithm.  SUMMA needs a
+#: square rank count; 2.5D needs ranks = c·p² with c | p; 1.5D needs
+#: ranks = c·p with c | p; CAPS needs a power of seven.  Single-rank
+#: entries exercise the degenerate no-communication path (Eq. 8 floor
+#: is zero there).
+_NETWORK_SHAPES: dict[str, tuple[tuple[int, int], ...]] = {
+    "summa": ((1, 1), (4, 1), (9, 1), (16, 1), (25, 1), (36, 1)),
+    "summa25d": ((8, 2), (32, 2), (27, 3), (9, 1), (128, 2)),
+    "summa15d": ((4, 1), (8, 2), (12, 2), (27, 3), (18, 3)),
+    "caps-dist": ((1, 1), (7, 1), (49, 1)),
+}
+
+
+def gen_network_case(seed: int) -> NetworkCase:
+    """A network-simulation cell: random topology, protocol, broadcast
+    pipelining and a shape-valid (algorithm, ranks, c) combination."""
+    from ..distributed import ClusterSpec, InterconnectSpec, NetworkConfig, Topology
+    from ..distributed.network import TOPOLOGY_KINDS
+
+    rng = random.Random(seed ^ 0x4E7517)
+    algorithm = rng.choice(tuple(_NETWORK_SHAPES))
+    ranks, c = rng.choice(_NETWORK_SHAPES[algorithm])
+    net = InterconnectSpec(
+        hop_latency_s=rng.choice((0.0, 2.0e-7, 5.0e-7)),
+        eager_threshold_bytes=rng.choice((math.inf, 1024.0, 65536.0)),
+    )
+    cluster = ClusterSpec(
+        interconnect=net, topology=Topology(rng.choice(TOPOLOGY_KINDS))
+    )
+    config = NetworkConfig(
+        protocol=rng.choice(("auto", "eager", "rendezvous")),
+        chunks=rng.choice((1, 1, 2, 4)),
+        c=c,
+        efficiency=0.85 if algorithm == "caps-dist" else 0.90,
+    )
+    return NetworkCase(
+        seed=seed,
+        cluster=cluster,
+        algorithm=algorithm,
+        n=rng.choice((256, 512, 1024, 2048)),
+        ranks=ranks,
+        config=config,
+        bsp_n=rng.choice((512, 1024, 4096)),
+        bsp_ranks=rng.randint(1, 9),
+        bsp_imbalance=rng.choice((0.0, 0.1, 0.4)),
     )
 
 

@@ -15,7 +15,10 @@ to the object recursion), a compiled-engine differential every
 ``compiled_every`` (the JIT-compiled C sweep against *both* Python
 kernels — probed once up front and silently absent on hosts without a
 toolchain, so ``--require compiled_engine`` makes its coverage
-mandatory), an Eq. 5/6 scaling sweep every ``scaling_every``, a full
+mandatory), a network-simulation differential every ``network_every``
+(arena-lowered event sweep vs per-rank object loop vs the closed-form
+BSP/collective models, all bit-exact, plus the Eq. 8 schedule floor),
+an Eq. 5/6 scaling sweep every ``scaling_every``, a full
 serial-vs-parallel study differential every ``study_every``, and the
 bound algebra + fault-mode scenarios once per run.  Because every
 family keys off the *case seed* (``base_seed + index``) and every
@@ -44,10 +47,12 @@ from .generators import (
     AlgorithmCase,
     GraphCase,
     LoweringCase,
+    NetworkCase,
     ScalingCase,
     gen_algorithm_case,
     gen_graph_case,
     gen_lowering_case,
+    gen_network_case,
     gen_scaling_case,
     shrink_graph_case,
 )
@@ -57,11 +62,13 @@ from .invariants import (
     check_comm_bounds,
     check_ep_scaling,
     check_measurement,
+    check_network_bounds,
 )
 from .oracle import (
     differential_compiled_check,
     differential_engine_check,
     differential_lowering_check,
+    differential_network_check,
     differential_service_check,
     differential_study_check,
 )
@@ -178,6 +185,21 @@ def _verify_algorithm_case(case: AlgorithmCase) -> list[Violation]:
     )
 
 
+def _verify_network_case(case: NetworkCase) -> list[Violation]:
+    """One network-simulation cell: the three exact-equality oracles
+    (events vs ranks, BSP bridge, collective closed form) plus the
+    schedule-sanity invariants and the Eq. 8 floor on both engines."""
+    from ..distributed import simulate
+
+    violations = differential_network_check(case)
+    for engine in ("events", "ranks"):
+        result = simulate(
+            case.cluster, case.algorithm, case.n, case.ranks, case.config, engine
+        )
+        violations += check_network_bounds(result)
+    return violations
+
+
 def _verify_scaling_case(case: ScalingCase) -> list[Violation]:
     """One Eq. 5/6 sweep: simulate the thread ladder, check consistency."""
     alg = make_algorithm(case.algorithm, case.machine)
@@ -203,6 +225,7 @@ def run_verify(
     bounds_every: int = 10,
     lowering_every: int = 10,
     compiled_every: int = 10,
+    network_every: int = 10,
     scaling_every: int = 25,
     study_every: int = 50,
     service_every: int = 100,
@@ -282,6 +305,10 @@ def run_verify(
                 differential_compiled_check(case),
                 case.describe(),
             )
+        if i % network_every == 0:
+            nc = gen_network_case(case_seed)
+            tick("network_sim")
+            record("network_sim", case_seed, _verify_network_case(nc), nc.describe())
         if i % scaling_every == 0:
             sc = gen_scaling_case(case_seed)
             tick("ep_scaling")

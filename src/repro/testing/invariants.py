@@ -29,6 +29,11 @@ Checked families:
   the bound algebra itself (max-of-terms, monotonicities, crossover
   memory, Strassen ≤ classical in the relevant regime) must hold on
   random inputs.
+* **Network-schedule sanity** — an event-simulated distributed
+  schedule's makespan must cover its slowest rank's compute, every
+  aggregate must be finite and non-negative, the cluster-wide sent and
+  received byte totals must balance, and the busiest rank may not move
+  fewer bytes than the Eq. 8 floor.
 """
 
 from __future__ import annotations
@@ -36,7 +41,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
 
 from ..core.bounds import (
     OMEGA_CLASSICAL,
@@ -53,6 +60,9 @@ from ..runtime.task import TaskGraph
 from ..sim.measurement import RunMeasurement
 from ..util.errors import SimulationError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..distributed.netsim import NetRunResult
+
 __all__ = [
     "Violation",
     "assert_no_violations",
@@ -60,6 +70,7 @@ __all__ = [
     "check_comm_bounds",
     "check_ep_scaling",
     "check_measurement",
+    "check_network_bounds",
 ]
 
 _REL = 1e-9
@@ -554,4 +565,67 @@ def check_bound_algebra(seed: int, samples: int = 25) -> list[Violation]:
                         f"{caps} exceeds classical {classical}",
                     )
                 )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# network-schedule sanity (discrete-event simulator)
+
+
+def check_network_bounds(result: "NetRunResult") -> list[Violation]:
+    """Sanity of one event-simulated distributed schedule.
+
+    The makespan must cover the slowest rank's compute (communication
+    and barriers only ever add), every aggregate must be a finite
+    non-negative number, the cluster's total bytes sent must equal the
+    total received (every send event pairs with exactly one receive),
+    and the busiest rank must move at least the Eq. 8 floor for the
+    algorithm's exponent — the same ``beats_bound`` tripwire CI gates
+    on for the thousand-rank sweeps.
+    """
+    out: list[Violation] = []
+    tag = f"{result.algorithm} n={result.n} P={result.ranks} ({result.engine})"
+    if not math.isfinite(result.total_time_s) or result.total_time_s < 0:
+        out.append(
+            Violation("network.finite", f"{tag}: makespan {result.total_time_s}")
+        )
+    for name, arr in (
+        ("compute_s", result.compute_s),
+        ("sent_bytes", result.sent_bytes),
+        ("recv_bytes", result.recv_bytes),
+    ):
+        arr = np.asarray(arr, dtype=np.float64)
+        if arr.size and (not np.all(np.isfinite(arr)) or float(arr.min()) < 0):
+            out.append(
+                Violation(
+                    "network.finite",
+                    f"{tag}: per-rank {name} has a negative or non-finite entry",
+                )
+            )
+    slowest = result.compute_time_s
+    if result.total_time_s < slowest * (1 - _REL):
+        out.append(
+            Violation(
+                "network.compute_floor",
+                f"{tag}: makespan {result.total_time_s} s below the slowest "
+                f"rank's compute {slowest} s",
+            )
+        )
+    sent = math.fsum(float(x) for x in result.sent_bytes)
+    recv = math.fsum(float(x) for x in result.recv_bytes)
+    if not _close(sent, recv):
+        out.append(
+            Violation(
+                "network.flow_conservation",
+                f"{tag}: cluster sent {sent} bytes but received {recv}",
+            )
+        )
+    if result.beats_bound():
+        out.append(
+            Violation(
+                "network.eq8",
+                f"{tag}: busiest rank moved {result.max_comm_bytes:.0f} bytes, "
+                f"below the Eq. 8 floor {result.floor_bytes:.0f}",
+            )
+        )
     return out

@@ -16,6 +16,12 @@ hand-written expected values:
   measurement floats) and the parent's emulated MSR counters must land
   on exactly the same values, because the parallel driver replays every
   cell's plane deposits in serial order.
+* **event-simulated vs closed-form network models** — the arena-lowered
+  event sweep must match the per-rank object loop bit-for-bit on every
+  schedule; on a contention-free topology the event lowering of a BSP
+  program must equal :class:`~repro.distributed.bsp.BspSimulator` and a
+  lone broadcast must equal its :mod:`repro.distributed.comm` closed
+  form — exactly, not approximately.
 
 Both oracles return :class:`~repro.testing.invariants.Violation` lists
 (empty = agreement), so the harness can aggregate and shrink.
@@ -28,7 +34,7 @@ from ..machine.specs import haswell_e3_1225
 from ..power.msr import PLANE_MSR, MsrFile
 from ..runtime.scheduler import ActivityInterval, Schedule, Scheduler
 from ..sim.engine import Engine
-from .generators import GraphCase, LoweringCase, gen_study_config
+from .generators import GraphCase, LoweringCase, NetworkCase, gen_study_config
 from .invariants import Violation
 
 __all__ = [
@@ -37,6 +43,7 @@ __all__ = [
     "differential_compiled_check",
     "differential_engine_check",
     "differential_lowering_check",
+    "differential_network_check",
     "differential_service_check",
     "differential_study_check",
 ]
@@ -486,6 +493,137 @@ def differential_service_check(
                     "oracle.service_msr",
                     f"{plane} counter diverged: serial {ca:#x} vs "
                     f"served replay {cb:#x}",
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# event-simulated vs closed-form network models
+
+
+def differential_network_check(case: NetworkCase) -> list[Violation]:
+    """Three exact-equality oracles over one network-simulation case.
+
+    1. **Engine differential** — the case's schedule through the
+       arena-lowered vectorized sweep (``engine="events"``) and through
+       the per-rank object loop (``engine="ranks"``).  Both perform the
+       same earliest-finish recurrence in the same order, so every
+       output (makespan, per-rank compute/sent/received) must be
+       bit-for-bit equal — no tolerance.
+    2. **BSP bridge** — a small superstep program (SUMMA- or CAPS-shaped
+       to match the case's algorithm family) through the closed-form
+       :class:`~repro.distributed.bsp.BspSimulator` and through its
+       event lowering (:func:`~repro.distributed.netsim.simulate_bsp`)
+       on both engines.  The lowering chains computes per rank and
+       prices each barrier with the same ``g·h + L`` arithmetic, so
+       totals, per-rank idle and per-rank plane energies must all be
+       exactly equal.
+    3. **Collective closed form** — a lone broadcast on a
+       contention-free (flat, eager) cluster, event-lowered, against
+       the matching :mod:`repro.distributed.comm` closed form: binomial
+       :func:`~repro.distributed.comm.broadcast` when ``chunks == 1``,
+       :func:`~repro.distributed.comm.pipelined_broadcast` otherwise.
+       Both sides are the same sequence of float additions, so equality
+       is exact.
+    """
+    from ..distributed import (
+        BspSimulator,
+        ClusterSpec,
+        NetworkConfig,
+        broadcast,
+        broadcast_events,
+        caps_program,
+        pipelined_broadcast,
+        simulate,
+        simulate_bsp,
+        summa_program,
+    )
+
+    out: list[Violation] = []
+
+    # 1. events vs ranks on the case's schedule.
+    ev = simulate(
+        case.cluster, case.algorithm, case.n, case.ranks, case.config, "events"
+    )
+    rk = simulate(
+        case.cluster, case.algorithm, case.n, case.ranks, case.config, "ranks"
+    )
+    if ev.n_events != rk.n_events:
+        out.append(
+            Violation(
+                "oracle.network_engines",
+                f"{case.describe()}: event counts diverged "
+                f"{ev.n_events} vs {rk.n_events}",
+            )
+        )
+    if ev.total_time_s != rk.total_time_s:
+        out.append(
+            Violation(
+                "oracle.network_engines",
+                f"{case.describe()}: makespan events={ev.total_time_s!r} "
+                f"!= ranks={rk.total_time_s!r}",
+            )
+        )
+    for field in ("compute_s", "sent_bytes", "recv_bytes"):
+        a, b = getattr(ev, field), getattr(rk, field)
+        if a.tobytes() != b.tobytes():
+            out.append(
+                Violation(
+                    "oracle.network_engines",
+                    f"{case.describe()}: per-rank {field} diverged "
+                    f"between engines",
+                )
+            )
+
+    # 2. the BSP bridge: closed form vs event lowering, both engines.
+    make = caps_program if case.algorithm == "caps-dist" else summa_program
+    program = make(case.cluster, case.bsp_n, case.bsp_ranks, case.bsp_imbalance)
+    closed = BspSimulator(case.cluster).run(program)
+    for engine in ("events", "ranks"):
+        lowered = simulate_bsp(case.cluster, program, engine)
+        diverged = [
+            name
+            for name, a, b in (
+                ("total_time_s", closed.total_time_s, lowered.total_time_s),
+                ("comm_time_s", closed.comm_time_s, lowered.comm_time_s),
+                ("compute_time_s", closed.compute_time_s, lowered.compute_time_s),
+                ("idle_time_s", closed.idle_time_s, lowered.idle_time_s),
+                ("rank_energy_j", closed.rank_energy_j, lowered.rank_energy_j),
+            )
+            if a != b
+        ]
+        if diverged:
+            out.append(
+                Violation(
+                    "oracle.network_bsp",
+                    f"{case.describe()} [{engine}]: BSP lowering diverged "
+                    f"from the closed form on {diverged} "
+                    f"(total {closed.total_time_s!r} vs "
+                    f"{lowered.total_time_s!r})",
+                )
+            )
+
+    # 3. one broadcast on a contention-free cluster vs its closed form.
+    flat = ClusterSpec()
+    chunks = case.config.chunks
+    cfg = NetworkConfig(protocol="eager", chunks=chunks)
+    p = max(2, case.bsp_ranks)
+    nbytes = 8.0 * case.bsp_n
+    prog = broadcast_events(flat, p, nbytes, cfg)
+    if chunks > 1:
+        expect = pipelined_broadcast(flat.interconnect, nbytes, p, chunks).time_s
+    else:
+        expect = broadcast(flat.interconnect, nbytes, p).time_s
+    for engine in ("events", "ranks"):
+        got = prog.simulate(engine).total_s
+        if got != expect:
+            out.append(
+                Violation(
+                    "oracle.network_collective",
+                    f"bcast P={p} nbytes={nbytes} chunks={chunks} "
+                    f"[{engine}]: event makespan {got!r} != closed form "
+                    f"{expect!r}",
                 )
             )
     return out

@@ -9,6 +9,7 @@ from repro.distributed.comm import (
     allgather,
     alltoall,
     broadcast,
+    pipelined_broadcast,
     point_to_point,
     reduce,
 )
@@ -64,3 +65,34 @@ def test_validation():
         broadcast(NET, -1, 4)
     with pytest.raises(Exception):
         allgather(NET, 1, 0)
+
+
+def test_pipelined_broadcast_chain_formula():
+    # 4 ranks, 2 chunks: (P-1) + (chunks-1) = 4 chunk-transfer times.
+    c = pipelined_broadcast(NET, 1e6, ranks=4, chunks=2)
+    chunk_t = NET.transfer_time_s(5e5)
+    assert c.time_s == pytest.approx(4 * chunk_t)
+    # Every interior rank forwards the whole payload once.
+    assert c.link_bytes == 1e6
+
+
+def test_pipelined_broadcast_unchunked_is_plain_chain():
+    c = pipelined_broadcast(NET, 1e6, ranks=5, chunks=1)
+    assert c.time_s == pytest.approx(4 * NET.transfer_time_s(1e6))
+
+
+def test_pipelining_beats_unpipelined_chain_for_large_payloads():
+    slow = pipelined_broadcast(NET, 1e8, ranks=8, chunks=1)
+    fast = pipelined_broadcast(NET, 1e8, ranks=8, chunks=16)
+    assert fast.time_s < slow.time_s
+
+
+def test_pipelined_broadcast_edge_cases():
+    assert pipelined_broadcast(NET, 1e6, ranks=1, chunks=4) == CommCost.zero()
+    zero = pipelined_broadcast(NET, 0.0, ranks=4, chunks=2)
+    assert zero.time_s == pytest.approx(4 * NET.latency_s)  # latency only
+    assert zero.link_bytes == 0.0
+    with pytest.raises(Exception):
+        pipelined_broadcast(NET, 1e6, ranks=4, chunks=0)
+    with pytest.raises(Exception):
+        pipelined_broadcast(NET, -1.0, ranks=4, chunks=2)

@@ -1,0 +1,143 @@
+"""Rank-event streams and the two network-simulation engines."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.rankevents import (
+    KIND_COMPUTE,
+    KIND_RECV,
+    KIND_SEND,
+    KIND_SYNC,
+    NET_ENGINES,
+    EventStreamBuilder,
+)
+from repro.util.errors import ValidationError
+
+
+def small_program():
+    """Two ranks, a message each way, a barrier, trailing compute."""
+    b = EventStreamBuilder(2)
+    b.compute(0, 1.0)
+    b.compute(1, 3.0)
+    b.message(0, 1, nbytes=64.0, duration=0.5)
+    b.message(1, 0, nbytes=32.0, duration=0.25, rendezvous=True)
+    b.barrier(duration=0.125)
+    b.compute(0, 2.0)
+    b.compute(1, 0.5)
+    return b.build()
+
+
+def test_compute_chains_serialize():
+    b = EventStreamBuilder(2)
+    first = b.compute(0, 1.0)
+    second = b.compute(0, 2.0)
+    other = b.compute(1, 5.0)
+    finish = b.build().finish_times()
+    assert finish[first] == 1.0
+    assert finish[second] == 3.0  # chained, not concurrent
+    assert finish[other] == 5.0  # independent rank
+
+
+def test_eager_recv_waits_for_wire_and_receiver():
+    b = EventStreamBuilder(2)
+    b.compute(1, 10.0)  # receiver is busy
+    send, recv = b.message(0, 1, nbytes=8.0, duration=0.5)
+    finish = b.build().finish_times()
+    assert finish[send] == 0.5  # eager send ignores the receiver
+    assert finish[recv] == 10.0  # arrival waits for the receiver's chain
+
+
+def test_rendezvous_send_waits_for_receiver():
+    b = EventStreamBuilder(2)
+    b.compute(1, 10.0)
+    send, recv = b.message(0, 1, nbytes=8.0, duration=0.5, rendezvous=True)
+    finish = b.build().finish_times()
+    assert finish[send] == 10.5  # handshake: wire starts after the receiver
+    assert finish[recv] == 10.5
+
+
+def test_barrier_joins_every_rank():
+    b = EventStreamBuilder(3)
+    b.compute(0, 1.0)
+    b.compute(1, 7.0)
+    b.compute(2, 2.0)
+    bar = b.barrier(duration=0.5)
+    tails = [b.compute(r, 0.25) for r in range(3)]
+    finish = b.build().finish_times()
+    assert finish[bar] == 7.5
+    assert all(finish[t] == 7.75 for t in tails)
+
+
+def test_mark_recv_charges_bytes_without_time():
+    b = EventStreamBuilder(1)
+    b.compute(0, 1.0)
+    b.mark_recv(0, 4096.0)
+    prog = b.build()
+    agg = prog.simulate()
+    assert agg.total_s == 1.0  # accounting only, no time advance
+    assert agg.recv_bytes[0] == 4096.0
+    assert agg.sent_bytes[0] == 0.0
+
+
+def test_engines_agree_bit_for_bit():
+    prog = small_program()
+    ev = prog.finish_times("events")
+    rk = prog.finish_times("ranks")
+    assert ev.tobytes() == rk.tobytes()
+    a, b = prog.simulate("events"), prog.simulate("ranks")
+    assert a.total_s == b.total_s
+    assert a.compute_s.tobytes() == b.compute_s.tobytes()
+    assert a.sent_bytes.tobytes() == b.sent_bytes.tobytes()
+    assert a.recv_bytes.tobytes() == b.recv_bytes.tobytes()
+    assert a.sync_s == b.sync_s
+
+
+def test_aggregate_per_rank_reductions():
+    prog = small_program()
+    agg = prog.simulate()
+    assert agg.compute_s.tolist() == [3.0, 3.5]
+    assert agg.sent_bytes.tolist() == [64.0, 32.0]
+    assert agg.recv_bytes.tolist() == [32.0, 64.0]
+    assert agg.sync_s == 0.125
+    assert agg.comm_bytes().tolist() == [96.0, 96.0]
+    # Makespan: rank 1 computes 3.0, the rendezvous reply lands at
+    # 3.25 on both ranks, the barrier adds 0.125, and rank 0's tail
+    # compute adds 2.0.
+    assert agg.total_s == 5.375
+
+
+def test_program_counts_and_kinds():
+    prog = small_program()
+    assert len(prog) == prog.n_events == 9
+    kinds = set(prog.kind.tolist())
+    assert kinds == {KIND_COMPUTE, KIND_SEND, KIND_RECV, KIND_SYNC}
+    assert prog.arena.dep_indptr[-1] == len(prog.arena.dep_indices)
+
+
+def test_empty_stream_is_fine():
+    prog = EventStreamBuilder(4).build()
+    assert prog.n_events == 0
+    agg = prog.simulate()
+    assert agg.total_s == 0.0
+    assert agg.compute_s.tolist() == [0.0] * 4
+
+
+def test_builder_validation():
+    with pytest.raises(Exception):
+        EventStreamBuilder(0)
+    b = EventStreamBuilder(2)
+    with pytest.raises(ValidationError):
+        b.compute(2, 1.0)  # rank out of range
+    with pytest.raises(ValidationError):
+        b.message(1, 1, 8.0, 0.1)  # self-message
+    with pytest.raises(Exception):
+        b.compute(0, -1.0)
+    with pytest.raises(Exception):
+        b.message(0, 1, -8.0, 0.1)
+
+
+def test_unknown_engine_rejected():
+    prog = small_program()
+    assert set(NET_ENGINES) == {"events", "ranks"}
+    with pytest.raises(ValidationError):
+        prog.finish_times("threads")

@@ -42,6 +42,15 @@ and the trace-driven cache simulator:
     ``bytes_ratio`` (pickled column bytes / descriptor bytes) is the
     communication-avoidance headline: it must stay >= 100x at
     n >= 1024.
+``network_sim``
+    The discrete-event network simulator on a thousand-rank 2.5D SUMMA
+    schedule (torus topology, c=2): the arena-lowered vectorized
+    earliest-finish sweep versus the per-rank Python-object loop over
+    the same event program.  Both produce bit-identical results (the
+    ``network_sim`` verify family asserts it); the gated ``ratio``
+    (object/arena wall time) must stay above the absolute
+    ``NETWORK_FLOOR`` (3x) — per-rank Python objects must never be the
+    hot path for P-sweeps.
 ``study_service``
     The async study service under load: 100 overlapping concurrent
     requests for the same cost-only grid (single-flight dedup must
@@ -109,6 +118,11 @@ OVERHEAD_LIMIT_PCT = 2.0
 #: Absolute floor on the compiled engine's speedup over the fast
 #: kernel across the execution-matrix sweeps (JIT warm-up excluded).
 COMPILED_FLOOR = 3.0
+
+#: Absolute floor on the arena-lowered network sweep's speedup over the
+#: per-rank object loop at thousand-rank scale (lowering excluded: both
+#: engines consume the same pre-built event program).
+NETWORK_FLOOR = 3.0
 
 #: Absolute gates on the study service (no baseline needed): a
 #: store-served cell lookup must average under this many milliseconds,
@@ -344,6 +358,39 @@ def bench_study_parallel(machine, sizes: tuple[int, ...], workers: int = 2) -> d
     return out
 
 
+def bench_network_sim(machine, smoke: bool, repeats: int) -> dict:
+    """Thousand-rank event sweep: arena engine vs per-rank object loop.
+
+    One 2.5D SUMMA schedule (torus2d, c=2) is lowered once; both
+    engines then sweep the *same* event program, so the gated ``ratio``
+    isolates the earliest-finish recurrence the arena lowering
+    vectorizes.  2048 ranks full / 512 smoke — at trivial rank counts
+    the object loop wins (vectorization overhead), which is exactly why
+    the gate pins the thousand-rank regime the sweeps run at.
+    """
+    from repro.distributed import ClusterSpec, NetworkConfig, Topology, build_events
+
+    cluster = ClusterSpec(node=machine, topology=Topology("torus2d"))
+    cfg = NetworkConfig(c=2)
+    ranks = 512 if smoke else 2048
+    n = 16384
+    t0 = time.perf_counter()
+    prog = build_events(cluster, "summa25d", n, ranks, cfg)
+    lower_s = time.perf_counter() - t0
+    reps = min(repeats, 5)
+    out = {
+        "algorithm": "summa25d",
+        "n": n,
+        "ranks": ranks,
+        "events": prog.n_events,
+        "lower_ms": lower_s * 1e3,
+        "events_ms": _best_of(lambda: prog.simulate("events"), reps) * 1e3,
+        "ranks_ms": _best_of(lambda: prog.simulate("ranks"), min(reps, 3)) * 1e3,
+    }
+    out["ratio"] = out["ranks_ms"] / out["events_ms"]
+    return out
+
+
 def bench_study_service(machine, smoke: bool, requests: int = 100) -> dict:
     """The service under overlapping load, then hot-lookup latency.
 
@@ -478,6 +525,7 @@ def run_suite(smoke: bool) -> dict:
         "cache_sim64k": bench_cache_sim(repeats),
         "graph_build": bench_graph_build(machine, sizes, repeats),
         "study_parallel": bench_study_parallel(machine, sizes),
+        "network_sim": bench_network_sim(machine, smoke, repeats),
         "study_service": bench_study_service(machine, smoke),
         "trace_overhead": bench_trace_overhead(machine, repeats, sizes),
     }
@@ -535,6 +583,22 @@ def gate(current: dict, baseline: dict) -> int:
             failures.append(
                 f"compiled: speedup {cratio:.2f}x below the absolute "
                 f"{COMPILED_FLOOR:.1f}x floor"
+            )
+    netsim = current.get("network_sim", {})
+    nratio = netsim.get("ratio")
+    if nratio is None:
+        failures.append("network_sim: missing ratio")
+    else:
+        status = "ok" if nratio >= NETWORK_FLOOR else "TOO SLOW"
+        print(
+            f"  {'network_sim':20s} ratio: {nratio:.2f}x arena-engine speedup "
+            f"over the per-rank object loop at P={netsim.get('ranks', '?')} "
+            f"(floor {NETWORK_FLOOR:.1f}x) {status}"
+        )
+        if nratio < NETWORK_FLOOR:
+            failures.append(
+                f"network_sim: arena speedup {nratio:.2f}x below the "
+                f"absolute {NETWORK_FLOOR:.1f}x floor"
             )
     overhead = current.get("trace_overhead", {}).get("max_pct")
     if overhead is None:
